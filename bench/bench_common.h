@@ -1,0 +1,79 @@
+// Shared plumbing for the figure-reproduction harnesses.
+//
+// Every bench binary regenerates one table/figure from the paper's
+// evaluation (Sec. VI): it sets up the simulated testbed, sweeps the same
+// parameters, and prints the rows/series the paper reports, together with
+// the paper's reference values where the text states them. Output format is
+// fixed-width text on stdout so `for b in build/bench/*; do $b; done` yields
+// a readable report.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/backend.h"
+#include "runtime/adapcc_backend.h"
+#include "sim/simulator.h"
+#include "topology/cluster.h"
+#include "topology/testbeds.h"
+
+namespace adapcc::bench {
+
+/// One simulated testbed instance with its own simulator. Benches create a
+/// fresh world per measured configuration so runs are independent.
+struct World {
+  explicit World(std::vector<topology::InstanceSpec> specs)
+      : simulator(std::make_unique<sim::Simulator>()),
+        cluster(std::make_unique<topology::Cluster>(*simulator, std::move(specs))) {}
+
+  std::vector<int> all_ranks() const {
+    std::vector<int> ranks;
+    for (int r = 0; r < cluster->world_size(); ++r) ranks.push_back(r);
+    return ranks;
+  }
+
+  std::unique_ptr<sim::Simulator> simulator;
+  std::unique_ptr<topology::Cluster> cluster;
+};
+
+inline void print_header(const std::string& figure, const std::string& description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_note(const std::string& note) { std::printf("note: %s\n", note.c_str()); }
+
+/// A GPU configuration row of Figs. 11-13, e.g. "A100:(4,4,4,4) V100:(4,4)":
+/// `per_instance[i]` GPUs used on instance i of the paper testbed.
+struct GpuConfig {
+  std::string label;
+  std::vector<int> per_instance;
+
+  std::vector<int> participants(const topology::Cluster& cluster) const {
+    std::vector<int> ranks;
+    for (std::size_t inst = 0; inst < per_instance.size(); ++inst) {
+      const auto on_instance = cluster.ranks_on_instance(static_cast<int>(inst));
+      for (int g = 0; g < per_instance[inst]; ++g) {
+        ranks.push_back(on_instance[static_cast<std::size_t>(g)]);
+      }
+    }
+    return ranks;
+  }
+};
+
+/// The five GPU configurations used on the x-axis of Figs. 11-13 (paper
+/// testbed order: four A100 servers then two V100 servers).
+inline std::vector<GpuConfig> fig11_configs() {
+  return {
+      {"A100:(4,4,4,4)", {4, 4, 4, 4, 0, 0}},
+      {"A100:(4,4,4,4) V100:(4,4)", {4, 4, 4, 4, 4, 4}},
+      {"A100:(2,2,2,2) V100:(2,2)", {2, 2, 2, 2, 2, 2}},
+      {"A100:(4,4) V100:(4,4)", {4, 4, 0, 0, 4, 4}},
+      {"A100:(4,4,4) V100:(4)", {4, 4, 4, 0, 4, 0}},
+  };
+}
+
+}  // namespace adapcc::bench

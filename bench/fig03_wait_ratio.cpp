@@ -1,0 +1,59 @@
+// Fig. 3(b): CDF of the wait-time ratio during GPT-2 training (Sec. II-C).
+//
+// The ratio is the time the fastest worker waits for the slowest worker to
+// be ready for AllReduce, divided by the actual communication time. Paper
+// reference, local batch 16, 100 Gbps RDMA:
+//   heterogeneous (2x4xV100 + 2x4xA100): ratio > 23% in 50% of iterations;
+//   homogeneous (4x4xA100):              ratio > 10% in 50% of iterations.
+#include "baselines/backend.h"
+#include "bench/bench_common.h"
+#include "training/compute_model.h"
+#include "training/model_spec.h"
+#include "training/trainer.h"
+#include "util/stats.h"
+
+namespace adapcc::bench {
+namespace {
+
+std::vector<double> collect_ratios(std::vector<topology::InstanceSpec> specs,
+                                   std::uint64_t seed) {
+  World world(std::move(specs));
+  baselines::NcclBackend nccl(*world.cluster);
+  training::TrainerConfig config;
+  config.iterations = 120;
+  config.batch_per_gpu = 16;
+  training::Trainer trainer(
+      *world.cluster,
+      training::ComputeModel(*world.cluster, training::gpt2(), util::Rng(seed)), config);
+  return trainer.train_with_backend(nccl).wait_ratios();
+}
+
+void print_cdf(const char* label, const std::vector<double>& ratios) {
+  std::printf("%-14s", label);
+  for (const double q : {0.25, 0.5, 0.75, 0.9}) {
+    std::printf("  p%-3.0f=%5.1f%%", q * 100, util::percentile(ratios, q) * 100.0);
+  }
+  int above = 0;
+  for (const double r : ratios) above += r > 0.10 ? 1 : 0;
+  std::printf("  frac(ratio>10%%)=%4.0f%%\n",
+              100.0 * above / static_cast<double>(ratios.size()));
+}
+
+int run() {
+  print_header("Fig. 3(b)", "CDF of wait-time ratio, GPT-2 training, batch 16");
+  // Heterogeneous: the paper's 2 V100 servers + 2 A100 servers.
+  const auto heter = collect_ratios(topology::heter_testbed(), 11);
+  // Homogeneous: 4 A100 servers.
+  const auto homo = collect_ratios(topology::homo_testbed(), 11);
+
+  print_cdf("heterogeneous", heter);
+  print_cdf("homogeneous", homo);
+  std::printf("\nmedian wait ratio: heter %.0f%% (paper >23%%), homo %.0f%% (paper >10%%)\n",
+              util::percentile(heter, 0.5) * 100.0, util::percentile(homo, 0.5) * 100.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace adapcc::bench
+
+int main() { return adapcc::bench::run(); }

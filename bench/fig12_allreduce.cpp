@@ -1,0 +1,57 @@
+// Fig. 12: AllReduce algorithm bandwidth across GPU configurations
+// (Sec. VI-C).
+//
+// Paper reference: AdapCC achieves 1.05-1.29x (geomean 1.19x) over NCCL,
+// 1.02-1.21x (1.15x) over MSCCL and 1.30-1.61x (1.49x) over Blink, thanks to
+// the pipelined reduce/broadcast stages and link-property awareness.
+#include <map>
+
+#include "bench/bench_common.h"
+#include "util/stats.h"
+
+namespace adapcc::bench {
+namespace {
+
+int run() {
+  print_header("Fig. 12", "AllReduce algorithm bandwidth (GB/s), 256 MB input, M = 4");
+  const Bytes tensor = megabytes(256);
+  std::map<std::string, std::vector<double>> speedups;
+
+  std::printf("%-28s %10s %10s %10s %10s | %8s %8s %8s\n", "config", "adapcc", "nccl", "msccl",
+              "blink", "vs nccl", "vs msccl", "vs blink");
+  for (const auto& config : fig11_configs()) {
+    World world(topology::paper_testbed());
+    const auto participants = config.participants(*world.cluster);
+
+    runtime::AdapccBackend adapcc(*world.cluster);
+    baselines::NcclBackend nccl(*world.cluster);
+    baselines::MscclBackend msccl(*world.cluster);
+    baselines::BlinkBackend blink(*world.cluster);
+
+    std::map<std::string, double> bw;
+    for (baselines::Backend* backend :
+         std::initializer_list<baselines::Backend*>{&adapcc, &nccl, &msccl, &blink}) {
+      const auto result = backend->run(collective::Primitive::kAllReduce, participants, tensor);
+      bw[backend->name()] = algo_bandwidth_gbps(tensor, result.elapsed());
+    }
+    const double vs_nccl = bw["adapcc"] / bw["nccl"];
+    const double vs_msccl = bw["adapcc"] / bw["msccl"];
+    const double vs_blink = bw["adapcc"] / bw["blink"];
+    speedups["nccl"].push_back(vs_nccl);
+    speedups["msccl"].push_back(vs_msccl);
+    speedups["blink"].push_back(vs_blink);
+    std::printf("%-28s %10.2f %10.2f %10.2f %10.2f | %7.2fx %7.2fx %7.2fx\n",
+                config.label.c_str(), bw["adapcc"], bw["nccl"], bw["msccl"], bw["blink"], vs_nccl,
+                vs_msccl, vs_blink);
+  }
+  std::printf("geomean speedup: vs nccl %.2fx (paper 1.19x), vs msccl %.2fx (paper 1.15x), "
+              "vs blink %.2fx (paper 1.49x)\n",
+              util::geometric_mean(speedups["nccl"]), util::geometric_mean(speedups["msccl"]),
+              util::geometric_mean(speedups["blink"]));
+  return 0;
+}
+
+}  // namespace
+}  // namespace adapcc::bench
+
+int main() { return adapcc::bench::run(); }

@@ -1,0 +1,52 @@
+// Fig. 13: AllToAll algorithm bandwidth (Sec. VI-C).
+//
+// NCCL has no native AllToAll; it is implemented with ncclSend/ncclRecv
+// pairs (one channel). Blink does not support multi-server AllToAll and is
+// omitted, as in the paper. Paper reference: AdapCC averages 31% better
+// algorithm bandwidth than NCCL and 14% better than MSCCL.
+#include <map>
+
+#include "bench/bench_common.h"
+#include "util/stats.h"
+
+namespace adapcc::bench {
+namespace {
+
+int run() {
+  print_header("Fig. 13", "AllToAll algorithm bandwidth (GB/s), 256 MB input, M = 4");
+  const Bytes tensor = megabytes(256);
+  std::map<std::string, std::vector<double>> speedups;
+
+  std::printf("%-28s %10s %10s %10s | %8s %8s\n", "config", "adapcc", "nccl", "msccl", "vs nccl",
+              "vs msccl");
+  for (const auto& config : fig11_configs()) {
+    World world(topology::paper_testbed());
+    const auto participants = config.participants(*world.cluster);
+
+    runtime::AdapccBackend adapcc(*world.cluster);
+    baselines::NcclBackend nccl(*world.cluster);
+    baselines::MscclBackend msccl(*world.cluster);
+
+    std::map<std::string, double> bw;
+    for (baselines::Backend* backend :
+         std::initializer_list<baselines::Backend*>{&adapcc, &nccl, &msccl}) {
+      const auto result = backend->run(collective::Primitive::kAllToAll, participants, tensor);
+      bw[backend->name()] = algo_bandwidth_gbps(tensor, result.elapsed());
+    }
+    const double vs_nccl = bw["adapcc"] / bw["nccl"];
+    const double vs_msccl = bw["adapcc"] / bw["msccl"];
+    speedups["nccl"].push_back(vs_nccl);
+    speedups["msccl"].push_back(vs_msccl);
+    std::printf("%-28s %10.2f %10.2f %10.2f | %7.2fx %7.2fx\n", config.label.c_str(),
+                bw["adapcc"], bw["nccl"], bw["msccl"], vs_nccl, vs_msccl);
+  }
+  std::printf("average speedup: vs nccl %+.0f%% (paper +31%%), vs msccl %+.0f%% (paper +14%%)\n",
+              (util::geometric_mean(speedups["nccl"]) - 1.0) * 100.0,
+              (util::geometric_mean(speedups["msccl"]) - 1.0) * 100.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace adapcc::bench
+
+int main() { return adapcc::bench::run(); }

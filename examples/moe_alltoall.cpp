@@ -1,0 +1,48 @@
+// Mixture-of-experts token dispatch with adapcc.alltoall() — the fastMoE
+// integration of Sec. VI-D: each GPU worker hosts one expert; every
+// iteration the gate routes tokens, and an AllToAll exchanges each worker's
+// token buffer with every other expert (replacing fastMoE's NCCL P2P).
+//
+// Build & run:  ./build/examples/moe_alltoall
+#include <cstdio>
+
+#include "baselines/backend.h"
+#include "runtime/adapcc.h"
+#include "topology/testbeds.h"
+#include "training/model_spec.h"
+
+using namespace adapcc;
+
+int main() {
+  sim::Simulator simulator;
+  topology::Cluster cluster(simulator, topology::homo_testbed());
+  runtime::Adapcc adapcc(cluster);
+  adapcc.init();
+  adapcc.setup();
+
+  const Bytes token_buffer = training::moe().tensor_bytes;  // 512 MB of tokens
+
+  // Dispatch: tokens leave each worker for the experts chosen by the gate.
+  const auto dispatch = adapcc.alltoall(token_buffer);
+  std::printf("token dispatch  (512 MB): %.1f ms, %.2f GB/s\n", dispatch.elapsed() * 1e3,
+              algo_bandwidth_gbps(token_buffer, dispatch.elapsed()));
+
+  // Verify every expert received a distinct shard from every worker.
+  int pairs = 0;
+  for (const auto& [dst, froms] : dispatch.alltoall_received) pairs += static_cast<int>(froms.size());
+  std::printf("expert inboxes: %d (src,dst) shards delivered across %d workers\n", pairs,
+              cluster.world_size());
+
+  // Combine: expert outputs return to the owning workers (second AllToAll).
+  const auto combine = adapcc.alltoall(token_buffer);
+  std::printf("token combine   (512 MB): %.1f ms\n", combine.elapsed() * 1e3);
+
+  // Compare against NCCL's ncclSend/ncclRecv implementation.
+  baselines::NcclBackend nccl(cluster);
+  std::vector<int> ranks;
+  for (int r = 0; r < cluster.world_size(); ++r) ranks.push_back(r);
+  const auto nccl_dispatch = nccl.run(collective::Primitive::kAllToAll, ranks, token_buffer);
+  std::printf("NCCL P2P dispatch: %.1f ms -> AdapCC is %.2fx faster\n",
+              nccl_dispatch.elapsed() * 1e3, nccl_dispatch.elapsed() / dispatch.elapsed());
+  return 0;
+}

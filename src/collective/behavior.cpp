@@ -1,0 +1,56 @@
+#include "collective/behavior.h"
+
+namespace adapcc::collective {
+
+std::string to_string(const BehaviorTuple& tuple) {
+  const auto flag = [](bool b) { return b ? "1" : "0"; };
+  return std::string("<") + flag(tuple.is_active) + "," + flag(tuple.has_recv) + "," +
+         flag(tuple.has_kernel) + "," + flag(tuple.has_send) + ">";
+}
+
+int active_in_subtree(const Tree& tree, NodeId node, const std::set<int>& active_ranks) {
+  int count = node.is_gpu() && active_ranks.contains(node.index) ? 1 : 0;
+  for (const NodeId child : tree.children_of(node)) {
+    count += active_in_subtree(tree, child, active_ranks);
+  }
+  return count;
+}
+
+BehaviorTuple derive_behavior(const SubCollective& sub, Primitive primitive, NodeId node,
+                              const std::set<int>& active_ranks) {
+  const Tree& tree = sub.tree;
+  BehaviorTuple tuple;
+  tuple.is_active = node.is_gpu() && active_ranks.contains(node.index);
+
+  // hasRecv: recursively check whether any predecessor has data to send.
+  int active_precedents = 0;  // direct children whose subtree carries data
+  for (const NodeId child : tree.children_of(node)) {
+    if (active_in_subtree(tree, child, active_ranks) > 0) ++active_precedents;
+  }
+  tuple.has_recv = active_precedents > 0;
+
+  // hasKernel.
+  if (!requires_aggregation(primitive)) {
+    tuple.has_kernel = false;  // AllToAll / Broadcast never aggregate
+  } else if (!tuple.has_recv) {
+    tuple.has_kernel = false;  // (1) nothing received, only local data out
+  } else if (!tuple.is_active && active_precedents == 1) {
+    tuple.has_kernel = false;  // (2) pure relay of a single upstream flow
+  } else if (!sub.aggregates_at(node, primitive)) {
+    tuple.has_kernel = false;  // (3) synthesizer disabled aggregation here
+  } else {
+    tuple.has_kernel = true;
+  }
+
+  // hasSend.
+  if (node == tree.root) {
+    tuple.has_send = false;
+  } else if (!tuple.is_active && !tuple.has_recv) {
+    tuple.has_send = false;
+  } else {
+    tuple.has_send = true;
+  }
+  return tuple;
+}
+
+}  // namespace adapcc::collective

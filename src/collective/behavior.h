@@ -1,0 +1,47 @@
+// GPU behavior abstraction (Sec. IV-C-3).
+//
+// Each rank's conduct on a communication graph with an arbitrary set of
+// ready (active) workers is captured by the four-boolean tuple
+// <isActive, hasRecv, hasKernel, hasSend>. The tuple is derived purely from
+// the shared graph structure plus the active set — no graph reconstruction
+// is needed when the active set changes, which is what lets AdapCC use
+// non-ready workers as relays.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "collective/comm_graph.h"
+
+namespace adapcc::collective {
+
+struct BehaviorTuple {
+  bool is_active = false;
+  bool has_recv = false;
+  bool has_kernel = false;
+  bool has_send = false;
+
+  friend bool operator==(const BehaviorTuple&, const BehaviorTuple&) = default;
+};
+
+std::string to_string(const BehaviorTuple& tuple);
+
+/// Number of active GPUs in the subtree rooted at `node` (including `node`
+/// itself), i.e. how much data flows toward the root through this node.
+int active_in_subtree(const Tree& tree, NodeId node, const std::set<int>& active_ranks);
+
+/// Derives the behavior tuple of `node` for a reduce-direction execution of
+/// `sub` with the given active set, applying the paper's rules:
+///   isActive  — node is a GPU whose worker is ready (not a relay / NIC);
+///   hasRecv   — some active rank exists among the node's (recursive)
+///               predecessors, so there is data to wait for;
+///   hasKernel — an aggregation kernel is launched; cleared when (1) there
+///               is nothing to receive, (2) the node is an inactive relay
+///               with exactly one active precedent, or (3) the synthesizer
+///               disabled aggregation at the node (a_{m,g} = 0);
+///   hasSend   — cleared for the root and for nodes with neither local data
+///               nor anything received.
+BehaviorTuple derive_behavior(const SubCollective& sub, Primitive primitive, NodeId node,
+                              const std::set<int>& active_ranks);
+
+}  // namespace adapcc::collective

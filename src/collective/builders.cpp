@@ -1,0 +1,106 @@
+#include "collective/builders.h"
+
+#include <stdexcept>
+
+namespace adapcc::collective {
+
+Tree chain_tree(const std::vector<NodeId>& order) {
+  if (order.empty()) throw std::invalid_argument("chain_tree: empty order");
+  Tree tree;
+  tree.root = order.back();
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    tree.parent[order[i]] = order[i + 1];
+  }
+  return tree;
+}
+
+Tree star_tree(NodeId root, const std::vector<NodeId>& leaves) {
+  Tree tree;
+  tree.root = root;
+  for (const NodeId leaf : leaves) {
+    if (leaf != root) tree.parent[leaf] = root;
+  }
+  return tree;
+}
+
+Tree kary_tree(const std::vector<NodeId>& nodes, int arity) {
+  if (nodes.empty()) throw std::invalid_argument("kary_tree: empty nodes");
+  if (arity < 1) throw std::invalid_argument("kary_tree: arity < 1");
+  Tree tree;
+  tree.root = nodes.front();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    tree.parent[nodes[i]] = nodes[(i - 1) / static_cast<std::size_t>(arity)];
+  }
+  return tree;
+}
+
+Strategy single_tree_strategy(Primitive primitive, std::vector<int> participants, Tree tree,
+                              Bytes chunk_bytes) {
+  Strategy strategy;
+  strategy.primitive = primitive;
+  strategy.participants = std::move(participants);
+  SubCollective sub;
+  sub.id = 0;
+  sub.fraction = 1.0;
+  sub.chunk_bytes = chunk_bytes;
+  sub.tree = std::move(tree);
+  strategy.subs.push_back(std::move(sub));
+  return strategy;
+}
+
+Strategy multi_tree_strategy(Primitive primitive, std::vector<int> participants,
+                             std::vector<Tree> trees, Bytes chunk_bytes) {
+  if (trees.empty()) throw std::invalid_argument("multi_tree_strategy: no trees");
+  Strategy strategy;
+  strategy.primitive = primitive;
+  strategy.participants = std::move(participants);
+  const double fraction = 1.0 / static_cast<double>(trees.size());
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    SubCollective sub;
+    sub.id = static_cast<int>(i);
+    sub.fraction = fraction;
+    sub.chunk_bytes = chunk_bytes;
+    sub.tree = std::move(trees[i]);
+    strategy.subs.push_back(std::move(sub));
+  }
+  return strategy;
+}
+
+namespace {
+
+FlowRoute make_route(int src, int dst, const std::vector<int>& instance_of) {
+  (void)instance_of;  // cross-instance pairs use the composite network edge
+  FlowRoute route;
+  route.src = NodeId::gpu(src);
+  route.dst = NodeId::gpu(dst);
+  route.path = {route.src, route.dst};
+  return route;
+}
+
+}  // namespace
+
+std::vector<FlowRoute> direct_alltoall_routes(const std::vector<int>& participants,
+                                              const std::vector<int>& instance_of) {
+  std::vector<FlowRoute> routes;
+  for (const int src : participants) {
+    for (const int dst : participants) {
+      if (src != dst) routes.push_back(make_route(src, dst, instance_of));
+    }
+  }
+  return routes;
+}
+
+std::vector<FlowRoute> rotated_alltoall_routes(const std::vector<int>& participants,
+                                               const std::vector<int>& instance_of) {
+  std::vector<FlowRoute> routes;
+  const std::size_t n = participants.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t step = 1; step < n; ++step) {
+      routes.push_back(
+          make_route(participants[i], participants[(i + step) % n], instance_of));
+    }
+  }
+  return routes;
+}
+
+}  // namespace adapcc::collective

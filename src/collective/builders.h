@@ -1,0 +1,45 @@
+// Elementary communication-graph shapes shared by tests, the baseline
+// backends and the synthesizer's candidate generation: chains, stars and
+// balanced k-ary trees over arbitrary node sequences.
+#pragma once
+
+#include <vector>
+
+#include "collective/comm_graph.h"
+
+namespace adapcc::collective {
+
+/// Chain a -> b -> ... -> root (the last element is the root). A chain is
+/// NCCL's ring in tree form: reducing along it pipelined gives ring-like
+/// bandwidth (Sec. VI-B baseline).
+Tree chain_tree(const std::vector<NodeId>& order);
+
+/// All leaves point directly at the root.
+Tree star_tree(NodeId root, const std::vector<NodeId>& leaves);
+
+/// Balanced k-ary tree; nodes[0] is the root, children filled level order.
+Tree kary_tree(const std::vector<NodeId>& nodes, int arity);
+
+/// Strategy with one sub-collective carrying the full tensor over `tree`.
+Strategy single_tree_strategy(Primitive primitive, std::vector<int> participants, Tree tree,
+                              Bytes chunk_bytes);
+
+/// Strategy with M sub-collectives of equal fraction, one tree each.
+Strategy multi_tree_strategy(Primitive primitive, std::vector<int> participants,
+                             std::vector<Tree> trees, Bytes chunk_bytes);
+
+/// Direct AllToAll routes between every ordered pair of participants, with
+/// each source's destinations listed in plain rank order — the send order
+/// of a naive ncclSend/ncclRecv loop, where every source hits receiver 0
+/// first (incast). Remote pairs use the composite cross-instance GPU->GPU
+/// network edge. `instance_of` maps a rank to its instance index.
+std::vector<FlowRoute> direct_alltoall_routes(const std::vector<int>& participants,
+                                              const std::vector<int>& instance_of);
+
+/// Like direct_alltoall_routes but each source's destinations are rotated
+/// (source i sends to i+1, i+2, ... first), the classic balanced-exchange
+/// schedule: at any moment every receiver has roughly one incoming flow.
+std::vector<FlowRoute> rotated_alltoall_routes(const std::vector<int>& participants,
+                                               const std::vector<int>& instance_of);
+
+}  // namespace adapcc::collective

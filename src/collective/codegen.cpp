@@ -1,0 +1,126 @@
+#include "collective/codegen.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "collective/behavior.h"
+
+namespace adapcc::collective {
+
+namespace {
+
+void emit_tree_context(std::ostringstream& out, const Strategy& strategy,
+                       const SubCollective& sub, NodeId node,
+                       const std::set<int>& active_ranks) {
+  const BehaviorTuple tuple = derive_behavior(sub, strategy.primitive, node, active_ranks);
+  const bool reduce_like = requires_aggregation(strategy.primitive);
+  const bool broadcast_side = strategy.primitive == Primitive::kBroadcast ||
+                              strategy.primitive == Primitive::kAllGather ||
+                              strategy.primitive == Primitive::kAllReduce;
+
+  out << "  context " << sub.id << ": behavior " << to_string(tuple) << ", chunk "
+      << sub.chunk_bytes / 1024 << " KiB\n";
+  if (reduce_like) {
+    out << "    // reduce stage (stream r" << sub.id << ")\n";
+    const auto children = sub.tree.children_of(node);
+    std::vector<NodeId> carrying;
+    for (const NodeId child : children) {
+      if (active_in_subtree(sub.tree, child, active_ranks) > 0) carrying.push_back(child);
+    }
+    out << "    for chunk c in partition:\n";
+    if (tuple.has_recv) {
+      for (const NodeId child : carrying) {
+        out << "      cudaStreamWaitEvent(recv_buffer[" << to_string(child) << "][c])\n";
+      }
+    }
+    if (tuple.has_kernel) {
+      out << "      launch reduce_kernel(local[c]";
+      for (const NodeId child : carrying) out << ", recv[" << to_string(child) << "][c]";
+      out << ")\n";
+    } else if (tuple.has_recv && !tuple.is_active) {
+      out << "      // relay: forward received chunks unmodified\n";
+    }
+    if (tuple.has_send) {
+      const NodeId parent = sub.tree.parent.at(node);
+      out << "      cudaMemcpyPeerAsync(-> " << to_string(parent) << ", c); record event\n";
+    } else if (node == sub.tree.root) {
+      out << "      // root: chunk complete; push to result queue\n";
+    }
+  }
+  if (broadcast_side) {
+    out << "    // broadcast stage (stream b" << sub.id << ")\n";
+    const auto children = sub.tree.children_of(node);
+    out << "    for chunk c in partition:\n";
+    if (node != sub.tree.root) {
+      out << "      cudaStreamWaitEvent(result_buffer[parent][c])\n";
+    }
+    for (const NodeId child : children) {
+      out << "      cudaMemcpyPeerAsync(-> " << to_string(child) << ", c); record event\n";
+    }
+    if (node.is_gpu()) out << "      // deliver chunk to result queue\n";
+  }
+}
+
+void emit_flow_context(std::ostringstream& out, const SubCollective& sub, int rank) {
+  out << "  context " << sub.id << ": alltoall, chunk " << sub.chunk_bytes / 1024
+      << " KiB, concurrency "
+      << (sub.alltoall_concurrency > 0 ? std::to_string(sub.alltoall_concurrency)
+                                       : std::string("unbounded"))
+      << "\n";
+  int listed = 0;
+  for (const auto& flow : sub.flows) {
+    if (flow.src.index != rank) continue;
+    out << "    send shard -> " << to_string(flow.dst);
+    if (flow.path.size() > 2) {
+      out << " via";
+      for (std::size_t i = 1; i + 1 < flow.path.size(); ++i) out << " " << to_string(flow.path[i]);
+    }
+    out << " (slot " << listed << ")\n";
+    ++listed;
+  }
+  out << "    recv shards from all peers into expert inbox\n";
+}
+
+}  // namespace
+
+std::string generate_rank_program(const Strategy& strategy, int rank,
+                                  const std::set<int>& active_ranks) {
+  std::ostringstream out;
+  const NodeId node = NodeId::gpu(rank);
+  bool participates = false;
+  for (const auto& sub : strategy.subs) {
+    if (strategy.primitive == Primitive::kAllToAll) {
+      bool has_flow = false;
+      for (const auto& flow : sub.flows) {
+        if (flow.src.index == rank || flow.dst.index == rank) has_flow = true;
+      }
+      if (!has_flow) continue;
+      participates = true;
+      emit_flow_context(out, sub, rank);
+    } else {
+      if (!sub.tree.contains(node)) continue;
+      participates = true;
+      emit_tree_context(out, strategy, sub, node, active_ranks);
+    }
+  }
+  if (!participates) return {};
+  return "rank " + std::to_string(rank) + " program (" + to_string(strategy.primitive) + "):\n" +
+         out.str();
+}
+
+std::string generate_all_programs(const Strategy& strategy,
+                                  const std::set<int>& active_ranks) {
+  std::string out;
+  std::vector<int> ranks = strategy.participants;
+  std::sort(ranks.begin(), ranks.end());
+  for (const int rank : ranks) {
+    const std::string program = generate_rank_program(strategy, rank, active_ranks);
+    if (!program.empty()) {
+      out += program;
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace adapcc::collective

@@ -1,0 +1,31 @@
+// Per-rank schedule generation (Sec. IV-C-3 / V: "the communicator then
+// generates CUDA code, which determines actions such as waiting for data
+// from predecessors, launching the aggregation kernel, and sending data to
+// successors").
+//
+// The simulator executes schedules directly, so "code" here is the faithful
+// analog: a deterministic, human-readable program per rank derived from the
+// strategy and the behavior tuples — the exact action sequence a CUDA
+// backend would emit (stream setup, per-chunk waits/kernels/copies). It
+// doubles as a debugging artifact: dump it to see precisely what a rank
+// will do for a given active set.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "collective/comm_graph.h"
+
+namespace adapcc::collective {
+
+/// Renders the program rank `rank` executes for `strategy` with the given
+/// active set. Covers every sub-collective (transmission context) the rank
+/// participates in; returns an empty program when the rank is idle.
+std::string generate_rank_program(const Strategy& strategy, int rank,
+                                  const std::set<int>& active_ranks);
+
+/// Renders all ranks' programs, separated by headers (debug dump).
+std::string generate_all_programs(const Strategy& strategy,
+                                  const std::set<int>& active_ranks);
+
+}  // namespace adapcc::collective

@@ -1,0 +1,235 @@
+#include "collective/comm_graph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/xml.h"
+
+namespace adapcc::collective {
+
+std::vector<NodeId> Tree::nodes() const {
+  std::vector<NodeId> result{root};
+  for (const auto& [child, _] : parent) {
+    if (child != root) result.push_back(child);
+  }
+  return result;
+}
+
+std::vector<NodeId> Tree::children_of(NodeId node) const {
+  std::vector<NodeId> result;
+  for (const auto& [child, p] : parent) {
+    if (p == node) result.push_back(child);
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+bool Tree::contains(NodeId node) const noexcept {
+  return node == root || parent.contains(node);
+}
+
+int Tree::depth_of(NodeId node) const {
+  int depth = 0;
+  NodeId current = node;
+  while (current != root) {
+    const auto it = parent.find(current);
+    if (it == parent.end()) throw std::invalid_argument("depth_of: node not in tree");
+    current = it->second;
+    if (++depth > static_cast<int>(parent.size()) + 1) {
+      throw std::invalid_argument("depth_of: cycle in tree");
+    }
+  }
+  return depth;
+}
+
+void Tree::validate(const LogicalTopology& topo) const {
+  if (parent.contains(root)) throw std::invalid_argument("Tree: root has a parent");
+  for (const auto& [child, p] : parent) {
+    if (!topo.has_edge(child, p)) {
+      throw std::invalid_argument("Tree: edge " + to_string(child) + "->" + to_string(p) +
+                                  " not in topology");
+    }
+    depth_of(child);  // throws on cycles / disconnection
+  }
+}
+
+void FlowRoute::validate(const LogicalTopology& topo) const {
+  if (path.size() < 2) throw std::invalid_argument("FlowRoute: path too short");
+  if (path.front() != src || path.back() != dst) {
+    throw std::invalid_argument("FlowRoute: path endpoints mismatch");
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!topo.has_edge(path[i], path[i + 1])) {
+      throw std::invalid_argument("FlowRoute: edge " + to_string(path[i]) + "->" +
+                                  to_string(path[i + 1]) + " not in topology");
+    }
+  }
+}
+
+bool SubCollective::aggregates_at(NodeId node, Primitive primitive) const {
+  if (!requires_aggregation(primitive)) return false;
+  if (node.is_nic()) return false;  // a_{m,g} = 0 for g in G_nic
+  const auto it = aggregate_at.find(node);
+  return it == aggregate_at.end() ? true : it->second;
+}
+
+void Strategy::validate(const LogicalTopology& topo) const {
+  if (subs.empty()) throw std::invalid_argument("Strategy: no sub-collectives");
+  double total_fraction = 0;
+  for (const auto& sub : subs) {
+    if (sub.fraction <= 0) throw std::invalid_argument("Strategy: non-positive fraction");
+    if (sub.chunk_bytes == 0) throw std::invalid_argument("Strategy: zero chunk size");
+    total_fraction += sub.fraction;
+    if (primitive == Primitive::kAllToAll) {
+      for (const auto& flow : sub.flows) flow.validate(topo);
+    } else {
+      sub.tree.validate(topo);
+      // Every participant must appear in the tree.
+      for (const int rank : participants) {
+        if (!sub.tree.contains(NodeId::gpu(rank))) {
+          throw std::invalid_argument("Strategy: participant gpu" + std::to_string(rank) +
+                                      " missing from sub-collective tree");
+        }
+      }
+    }
+  }
+  if (std::abs(total_fraction - 1.0) > 1e-6) {
+    throw std::invalid_argument("Strategy: fractions must sum to 1");
+  }
+}
+
+namespace {
+
+std::string node_to_token(NodeId node) { return topology::to_string(node); }
+
+NodeId token_to_node(const std::string& token) {
+  if (token.starts_with("gpu")) return NodeId::gpu(std::stoi(token.substr(3)));
+  if (token.starts_with("nic")) return NodeId::nic(std::stoi(token.substr(3)));
+  throw std::runtime_error("Strategy XML: bad node token '" + token + "'");
+}
+
+std::vector<std::string> split_tokens(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(text);
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+}  // namespace
+
+std::string Strategy::to_xml() const {
+  util::XmlElement root("strategy");
+  root.set_attribute("primitive", to_string(primitive));
+  root.set_attribute("origin", origin);
+  std::string ranks;
+  for (const int r : participants) {
+    if (!ranks.empty()) ranks += ' ';
+    ranks += std::to_string(r);
+  }
+  root.set_attribute("participants", ranks);
+  for (const auto& sub : subs) {
+    auto& sub_el = root.add_child("subcollective");
+    sub_el.set_attribute("id", static_cast<long long>(sub.id));
+    sub_el.set_attribute("fraction", sub.fraction);
+    sub_el.set_attribute("chunk_bytes", static_cast<long long>(sub.chunk_bytes));
+    if (sub.alltoall_concurrency != 0) {
+      sub_el.set_attribute("concurrency", static_cast<long long>(sub.alltoall_concurrency));
+    }
+    if (primitive == Primitive::kAllToAll) {
+      for (const auto& flow : sub.flows) {
+        auto& flow_el = sub_el.add_child("flow");
+        flow_el.set_attribute("src", node_to_token(flow.src));
+        flow_el.set_attribute("dst", node_to_token(flow.dst));
+        std::string path;
+        for (const auto& node : flow.path) {
+          if (!path.empty()) path += ' ';
+          path += node_to_token(node);
+        }
+        flow_el.set_text(path);
+      }
+    } else {
+      auto& tree_el = sub_el.add_child("tree");
+      tree_el.set_attribute("root", node_to_token(sub.tree.root));
+      // Deterministic edge order for stable fingerprints.
+      std::vector<std::pair<NodeId, NodeId>> edges(sub.tree.parent.begin(),
+                                                   sub.tree.parent.end());
+      std::sort(edges.begin(), edges.end());
+      for (const auto& [child, parent] : edges) {
+        auto& edge_el = tree_el.add_child("edge");
+        edge_el.set_attribute("child", node_to_token(child));
+        edge_el.set_attribute("parent", node_to_token(parent));
+      }
+    }
+    std::vector<std::pair<NodeId, bool>> aggs(sub.aggregate_at.begin(), sub.aggregate_at.end());
+    std::sort(aggs.begin(), aggs.end());
+    for (const auto& [node, flag] : aggs) {
+      auto& agg_el = sub_el.add_child("aggregate");
+      agg_el.set_attribute("node", node_to_token(node));
+      agg_el.set_attribute("enabled", static_cast<long long>(flag ? 1 : 0));
+    }
+  }
+  return root.to_string();
+}
+
+Strategy Strategy::from_xml(const std::string& document) {
+  const auto root = util::parse_xml(document);
+  if (root->name() != "strategy") throw std::runtime_error("Strategy XML: bad root element");
+  Strategy strategy;
+  const std::string prim = root->attribute("primitive");
+  bool found = false;
+  for (const Primitive p : {Primitive::kReduce, Primitive::kBroadcast, Primitive::kAllReduce,
+                            Primitive::kAllGather, Primitive::kReduceScatter,
+                            Primitive::kAllToAll}) {
+    if (to_string(p) == prim) {
+      strategy.primitive = p;
+      found = true;
+    }
+  }
+  if (!found) throw std::runtime_error("Strategy XML: unknown primitive " + prim);
+  strategy.origin = root->attribute("origin");
+  for (const auto& token : split_tokens(root->attribute("participants"))) {
+    strategy.participants.push_back(std::stoi(token));
+  }
+  for (const auto* sub_el : root->children_named("subcollective")) {
+    SubCollective sub;
+    sub.id = static_cast<int>(sub_el->attribute_as_int("id"));
+    sub.fraction = sub_el->attribute_as_double("fraction");
+    sub.chunk_bytes = static_cast<Bytes>(sub_el->attribute_as_int("chunk_bytes"));
+    if (sub_el->has_attribute("concurrency")) {
+      sub.alltoall_concurrency = static_cast<int>(sub_el->attribute_as_int("concurrency"));
+    }
+    if (const auto* tree_el = sub_el->first_child("tree")) {
+      sub.tree.root = token_to_node(tree_el->attribute("root"));
+      for (const auto* edge_el : tree_el->children_named("edge")) {
+        sub.tree.parent[token_to_node(edge_el->attribute("child"))] =
+            token_to_node(edge_el->attribute("parent"));
+      }
+    }
+    for (const auto* flow_el : sub_el->children_named("flow")) {
+      FlowRoute flow;
+      flow.src = token_to_node(flow_el->attribute("src"));
+      flow.dst = token_to_node(flow_el->attribute("dst"));
+      for (const auto& token : split_tokens(flow_el->text())) {
+        flow.path.push_back(token_to_node(token));
+      }
+      sub.flows.push_back(std::move(flow));
+    }
+    for (const auto* agg_el : sub_el->children_named("aggregate")) {
+      sub.aggregate_at[token_to_node(agg_el->attribute("node"))] =
+          agg_el->attribute_as_int("enabled") != 0;
+    }
+    strategy.subs.push_back(std::move(sub));
+  }
+  return strategy;
+}
+
+std::string Strategy::fingerprint() const {
+  // The XML rendering is deterministic (sorted edges/aggregation entries),
+  // so it doubles as a structural fingerprint.
+  return to_xml();
+}
+
+}  // namespace adapcc::collective

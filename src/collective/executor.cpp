@@ -1,0 +1,546 @@
+#include "collective/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/edge_channel.h"
+#include "sim/gpu_stream.h"
+#include "util/logging.h"
+
+namespace adapcc::collective {
+
+namespace {
+
+/// Number of chunks for `bytes` under chunk size `chunk`.
+int chunk_count(Bytes bytes, Bytes chunk) {
+  if (bytes == 0) return 0;
+  return static_cast<int>((bytes + chunk - 1) / chunk);
+}
+
+Bytes bytes_of_chunk(Bytes total, Bytes chunk, int index) {
+  const Bytes offset = chunk * static_cast<Bytes>(index);
+  return std::min<Bytes>(chunk, total - offset);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Invocation: the state of one in-flight collective.
+// ---------------------------------------------------------------------------
+
+class Executor::Invocation {
+ public:
+  Invocation(topology::Cluster& cluster, const Strategy& strategy, Bytes tensor_bytes,
+             CollectiveOptions options, std::function<void(const CollectiveResult&)> on_complete,
+             std::function<void()> on_idle)
+      : cluster_(cluster),
+        sim_(cluster.simulator()),
+        strategy_(strategy),
+        tensor_bytes_(tensor_bytes),
+        options_(std::move(options)),
+        on_complete_(std::move(on_complete)),
+        on_idle_(std::move(on_idle)) {
+    if (options_.active_ranks.empty()) {
+      options_.active_ranks.insert(strategy_.participants.begin(), strategy_.participants.end());
+    }
+    for (const int rank : options_.active_ranks) {
+      if (rank < 0 || rank >= kMaxRanks) throw std::invalid_argument("Invocation: rank out of range");
+    }
+  }
+
+  void start() {
+    result_.started = sim_.now();
+    for (std::size_t s = 0; s < strategy_.subs.size(); ++s) build_sub(static_cast<int>(s));
+    if (outstanding_ == 0) {
+      // Degenerate (e.g. zero-byte tensor): complete immediately.
+      finish();
+    } else {
+      for (auto& sub : subs_) launch_sub(*sub);
+    }
+  }
+
+  bool idle() const noexcept { return pending_ops_ == 0; }
+
+ private:
+  struct NodeState {
+    NodeId id;
+    BehaviorTuple behavior;
+    bool accumulates = false;  ///< gathers all inputs before forwarding
+    int inputs_per_chunk = 0;  ///< reduce-direction messages expected per chunk
+    std::vector<int> received;
+    std::vector<ChunkMessage> acc;
+    sim::EdgeChannel* up = nullptr;  ///< toward parent (reduce direction)
+    std::vector<std::pair<NodeId, sim::EdgeChannel*>> down;  ///< per child
+    sim::GpuStream* stream = nullptr;
+  };
+
+  struct FlowState {
+    const FlowRoute* route = nullptr;
+    std::unique_ptr<sim::EdgeChannel> channel;
+    Bytes bytes = 0;
+    int chunks = 0;
+  };
+
+  struct SubRun {
+    int index = 0;
+    const SubCollective* spec = nullptr;
+    Bytes bytes = 0;  ///< S_m
+    int chunks = 0;   ///< number of pipelined chunks
+    std::map<NodeId, NodeState> nodes;
+    std::vector<FlowState> flows;
+    bool reduce_direction = false;     ///< Reduce / AllReduce / ReduceScatter
+    bool broadcast_direction = false;  ///< Broadcast / AllReduce / AllGather
+  };
+
+  // --- construction --------------------------------------------------------
+
+  void build_sub(int index) {
+    auto run = std::make_unique<SubRun>();
+    run->index = index;
+    run->spec = &strategy_.subs[static_cast<std::size_t>(index)];
+    run->bytes = static_cast<Bytes>(std::llround(run->spec->fraction *
+                                                 static_cast<double>(tensor_bytes_)));
+
+    switch (strategy_.primitive) {
+      case Primitive::kReduce:
+      case Primitive::kReduceScatter:
+        run->reduce_direction = true;
+        break;
+      case Primitive::kBroadcast:
+      case Primitive::kAllGather:
+        run->broadcast_direction = true;
+        break;
+      case Primitive::kAllReduce:
+        run->reduce_direction = run->broadcast_direction = true;
+        break;
+      case Primitive::kAllToAll:
+        build_alltoall_sub(*run);
+        subs_.push_back(std::move(run));
+        return;
+    }
+
+    run->chunks = chunk_count(run->bytes, run->spec->chunk_bytes);
+    build_tree_sub(*run);
+    subs_.push_back(std::move(run));
+  }
+
+  void build_tree_sub(SubRun& run) {
+    const Tree& tree = run.spec->tree;
+    // Node states with behavior tuples.
+    for (const NodeId node : tree.nodes()) {
+      NodeState state;
+      state.id = node;
+      state.behavior = derive_behavior(*run.spec, strategy_.primitive, node,
+                                       options_.active_ranks);
+      state.accumulates = state.behavior.has_kernel || node == tree.root;
+      state.received.assign(static_cast<std::size_t>(run.chunks), 0);
+      state.acc.assign(static_cast<std::size_t>(run.chunks), ChunkMessage{});
+      if (node.is_gpu() && run.reduce_direction) {
+        streams_.push_back(std::make_unique<sim::GpuStream>(sim_));
+        state.stream = streams_.back().get();
+      }
+      run.nodes.emplace(node, std::move(state));
+    }
+    // inputs_per_chunk via post-order recursion.
+    compute_inputs(run, tree.root);
+    // Channels.
+    for (const NodeId node : tree.nodes()) {
+      NodeState& state = run.nodes.at(node);
+      if (node != tree.root) {
+        const NodeId parent = tree.parent.at(node);
+        if (run.reduce_direction && state.behavior.has_send) {
+          channels_.push_back(
+              std::make_unique<sim::EdgeChannel>(sim_, cluster_.edge_path(node, parent)));
+          state.up = channels_.back().get();
+        }
+      }
+      if (run.broadcast_direction) {
+        for (const NodeId child : tree.children_of(node)) {
+          channels_.push_back(
+              std::make_unique<sim::EdgeChannel>(sim_, cluster_.edge_path(node, child)));
+          state.down.emplace_back(child, channels_.back().get());
+        }
+      }
+    }
+    // Deliverable accounting and result sizing.
+    if (run.reduce_direction) {
+      outstanding_ += run.chunks;  // root completions
+    }
+    if (run.broadcast_direction) {
+      for (const NodeId node : tree.nodes()) {
+        if (node.is_gpu() && options_.active_ranks.contains(node.index) && node != tree.root) {
+          outstanding_ += run.chunks;
+        }
+      }
+    }
+    if (run.reduce_direction || run.broadcast_direction) {
+      for (const NodeId node : tree.nodes()) {
+        if (node.is_gpu()) ensure_delivery_slots(node.index);
+      }
+    }
+  }
+
+  int compute_inputs(SubRun& run, NodeId node) {
+    // Returns the number of reduce-direction messages this node emits per
+    // chunk (its "out" count); fills inputs_per_chunk along the way.
+    NodeState& state = run.nodes.at(node);
+    int inputs = state.behavior.is_active ? 1 : 0;
+    for (const NodeId child : run.spec->tree.children_of(node)) {
+      const int child_out = compute_inputs(run, child);
+      inputs += child_out;
+    }
+    state.inputs_per_chunk = inputs;
+    if (inputs == 0) return 0;  // nothing flows through this node
+    return state.accumulates ? 1 : inputs;
+  }
+
+  void build_alltoall_sub(SubRun& run) {
+    const int participants = static_cast<int>(strategy_.participants.size());
+    if (participants < 2) throw std::invalid_argument("AllToAll needs >= 2 participants");
+    // Each GPU's tensor is split across all participants; this sub carries
+    // `fraction` of every shard.
+    const Bytes shard = tensor_bytes_ / static_cast<Bytes>(participants);
+    run.bytes = static_cast<Bytes>(std::llround(run.spec->fraction * static_cast<double>(shard)));
+    for (const auto& route : run.spec->flows) {
+      FlowState flow;
+      flow.route = &route;
+      flow.bytes = run.bytes;
+      flow.chunks = chunk_count(flow.bytes, run.spec->chunk_bytes);
+      // Concatenate the per-edge link paths into one channel path.
+      std::vector<sim::FlowLink*> links;
+      for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+        const auto segment = cluster_.edge_path(route.path[i], route.path[i + 1]);
+        links.insert(links.end(), segment.begin(), segment.end());
+      }
+      flow.channel = std::make_unique<sim::EdgeChannel>(sim_, std::move(links));
+      outstanding_ += flow.chunks;
+      run.flows.push_back(std::move(flow));
+      ensure_delivery_slots(route.src.index);
+      ensure_delivery_slots(route.dst.index);
+    }
+  }
+
+  void ensure_delivery_slots(int rank) {
+    auto& per_sub = result_.delivered[rank];
+    auto& per_sub_masks = result_.delivered_masks[rank];
+    per_sub.resize(strategy_.subs.size());
+    per_sub_masks.resize(strategy_.subs.size());
+    for (std::size_t s = 0; s < strategy_.subs.size(); ++s) {
+      const auto& sub = strategy_.subs[s];
+      const Bytes sub_bytes = static_cast<Bytes>(
+          std::llround(sub.fraction * static_cast<double>(tensor_bytes_)));
+      const int chunks = chunk_count(sub_bytes, sub.chunk_bytes);
+      per_sub[s].resize(static_cast<std::size_t>(std::max(chunks, 0)),
+                        std::numeric_limits<double>::quiet_NaN());
+      per_sub_masks[s].resize(static_cast<std::size_t>(std::max(chunks, 0)), 0);
+    }
+  }
+
+  // --- launch ---------------------------------------------------------------
+
+  Seconds ready_time(int rank) const {
+    const auto it = options_.ready_at.find(rank);
+    return it == options_.ready_at.end() ? sim_.now() : std::max(sim_.now(), it->second);
+  }
+
+  void launch_sub(SubRun& run) {
+    if (strategy_.primitive == Primitive::kAllToAll) {
+      launch_alltoall(run);
+      return;
+    }
+    if (run.reduce_direction) {
+      // Every active GPU contributes its local chunks at its ready time —
+      // or progressively while its buffer fills (Sec. IV-C).
+      for (auto& [node, state] : run.nodes) {
+        if (!state.behavior.is_active) continue;
+        const int rank = node.index;
+        const auto fill_it = options_.fill_start.find(rank);
+        if (fill_it != options_.fill_start.end() && run.chunks > 0) {
+          const Seconds end = ready_time(rank);
+          const Seconds begin = std::min(std::max(sim_.now(), fill_it->second), end);
+          for (int c = 0; c < run.chunks; ++c) {
+            const Seconds when =
+                begin + (end - begin) * static_cast<double>(c + 1) /
+                            static_cast<double>(run.chunks);
+            schedule_op(when, [this, &run, node = node, rank, c] {
+              on_reduce_input(run, node, c,
+                              ChunkMessage{payload_value(rank, run.index, c), rank_bit(rank)});
+            });
+          }
+          continue;
+        }
+        schedule_op(ready_time(rank), [this, &run, node = node, rank] {
+          for (int c = 0; c < run.chunks; ++c) {
+            on_reduce_input(run, node, c,
+                            ChunkMessage{payload_value(rank, run.index, c), rank_bit(rank)});
+          }
+        });
+      }
+    } else if (run.broadcast_direction) {
+      // Pure broadcast: the root injects its own tensor.
+      const NodeId root = run.spec->tree.root;
+      const int rank = root.index;
+      schedule_op(ready_time(rank), [this, &run, rank] {
+        for (int c = 0; c < run.chunks; ++c) {
+          inject_broadcast(run, c, ChunkMessage{payload_value(rank, run.index, c), rank_bit(rank)});
+        }
+      });
+    }
+  }
+
+  void launch_alltoall(SubRun& run) {
+    // Per-source flow queues in listed order, bounded by the strategy's
+    // per-source concurrency (NCCL's limited channels vs AdapCC's streams).
+    std::map<int, std::vector<FlowState*>> by_source;
+    for (auto& flow : run.flows) by_source[flow.route->src.index].push_back(&flow);
+    for (auto& [src, flows] : by_source) {
+      auto state = std::make_shared<SourceQueue>();
+      state->flows = flows;
+      state->limit = run.spec->alltoall_concurrency > 0
+                         ? static_cast<std::size_t>(run.spec->alltoall_concurrency)
+                         : flows.size();
+      schedule_op(ready_time(src), [this, &run, src = src, state] {
+        while (state->active < state->limit && state->next < state->flows.size()) {
+          start_flow(run, src, state);
+        }
+      });
+    }
+  }
+
+  struct SourceQueue {
+    std::vector<FlowState*> flows;
+    std::size_t next = 0;
+    std::size_t active = 0;
+    std::size_t limit = 0;
+  };
+
+  void start_flow(SubRun& run, int src, const std::shared_ptr<SourceQueue>& state) {
+    FlowState& flow = *state->flows[state->next++];
+    if (flow.chunks == 0) return;  // nothing to send (degenerate tensor)
+    ++state->active;
+    const int dst = flow.route->dst.index;
+    auto remaining = std::make_shared<int>(flow.chunks);
+    for (int c = 0; c < flow.chunks; ++c) {
+      const Bytes bytes = bytes_of_chunk(flow.bytes, run.spec->chunk_bytes, c);
+      const double value = alltoall_value(src, dst, run.index, c);
+      ++pending_ops_;
+      flow.channel->send(bytes, [this, &run, src, dst, c, value, remaining, state] {
+        result_.alltoall_received[dst][src].resize(
+            std::max<std::size_t>(result_.alltoall_received[dst][src].size(),
+                                  static_cast<std::size_t>(c) + 1),
+            std::numeric_limits<double>::quiet_NaN());
+        result_.alltoall_received[dst][src][static_cast<std::size_t>(c)] = value;
+        note_rank_activity(dst);
+        complete_deliverable();
+        if (--*remaining == 0) {
+          --state->active;
+          while (state->active < state->limit && state->next < state->flows.size()) {
+            start_flow(run, src, state);
+          }
+        }
+        op_done();
+      });
+    }
+  }
+
+  // --- reduce direction -----------------------------------------------------
+
+  void on_reduce_input(SubRun& run, NodeId node, int chunk, ChunkMessage message) {
+    NodeState& state = run.nodes.at(node);
+    if (state.accumulates) {
+      auto& acc = state.acc[static_cast<std::size_t>(chunk)];
+      acc.value += message.value;
+      acc.mask |= message.mask;
+      if (++state.received[static_cast<std::size_t>(chunk)] < state.inputs_per_chunk) return;
+      const ChunkMessage combined = acc;
+      // Aggregation kernel: only when the behavior tuple demands one.
+      if (state.behavior.has_kernel && state.stream != nullptr) {
+        const Bytes bytes = bytes_of_chunk(run.bytes, run.spec->chunk_bytes, chunk);
+        const auto kind = cluster_.gpu_kind(node.index);
+        const Seconds duration =
+            topology::kernel_launch_overhead() +
+            static_cast<double>(bytes) * std::max(1, state.inputs_per_chunk - 1) /
+                topology::reduce_kernel_throughput(kind);
+        ++pending_ops_;
+        state.stream->enqueue(duration, [this, &run, node, chunk, combined] {
+          emit_reduce_output(run, node, chunk, combined);
+          op_done();
+        });
+      } else {
+        emit_reduce_output(run, node, chunk, combined);
+      }
+    } else {
+      // Pass-through (relay or a_{m,g} = 0): forward immediately.
+      emit_reduce_output(run, node, chunk, message);
+    }
+  }
+
+  void emit_reduce_output(SubRun& run, NodeId node, int chunk, ChunkMessage message) {
+    NodeState& state = run.nodes.at(node);
+    if (node == run.spec->tree.root) {
+      on_root_chunk(run, chunk, message);
+      return;
+    }
+    if (state.up == nullptr) return;  // behavior says no send
+    const NodeId parent = run.spec->tree.parent.at(node);
+    const Bytes bytes = bytes_of_chunk(run.bytes, run.spec->chunk_bytes, chunk);
+    ++pending_ops_;
+    state.up->send(bytes, [this, &run, parent, chunk, message] {
+      on_reduce_input(run, parent, chunk, message);
+      op_done();
+    });
+  }
+
+  void on_root_chunk(SubRun& run, int chunk, ChunkMessage message) {
+    result_.subs.resize(strategy_.subs.size());
+    auto& sub_result = result_.subs[static_cast<std::size_t>(run.index)];
+    sub_result.root_values.resize(static_cast<std::size_t>(run.chunks), 0.0);
+    sub_result.root_masks.resize(static_cast<std::size_t>(run.chunks), 0);
+    sub_result.root_values[static_cast<std::size_t>(chunk)] = message.value;
+    sub_result.root_masks[static_cast<std::size_t>(chunk)] = message.mask;
+
+    const NodeId root = run.spec->tree.root;
+    if (root.is_gpu()) {
+      record_delivery(run, root.index, chunk, message);
+      note_rank_activity(root.index);
+    }
+    complete_deliverable();
+    // Multi-stage parallelism: AllReduce broadcasts the chunk right away.
+    if (run.broadcast_direction) inject_broadcast(run, chunk, message);
+  }
+
+  // --- broadcast direction ----------------------------------------------------
+
+  void inject_broadcast(SubRun& run, int chunk, ChunkMessage message) {
+    forward_broadcast(run, run.spec->tree.root, chunk, message);
+    if (strategy_.primitive == Primitive::kBroadcast ||
+        strategy_.primitive == Primitive::kAllGather) {
+      const NodeId root = run.spec->tree.root;
+      record_delivery(run, root.index, chunk, message);
+    }
+  }
+
+  void forward_broadcast(SubRun& run, NodeId node, int chunk, ChunkMessage message) {
+    NodeState& state = run.nodes.at(node);
+    const Bytes bytes = bytes_of_chunk(run.bytes, run.spec->chunk_bytes, chunk);
+    for (auto& [child, channel] : state.down) {
+      ++pending_ops_;
+      channel->send(bytes, [this, &run, child = child, chunk, message] {
+        on_broadcast_arrival(run, child, chunk, message);
+        op_done();
+      });
+    }
+  }
+
+  void on_broadcast_arrival(SubRun& run, NodeId node, int chunk, ChunkMessage message) {
+    if (node.is_gpu()) {
+      record_delivery(run, node.index, chunk, message);
+      if (options_.active_ranks.contains(node.index)) {
+        note_rank_activity(node.index);
+        complete_deliverable();
+      }
+    }
+    forward_broadcast(run, node, chunk, message);
+  }
+
+  // --- bookkeeping -----------------------------------------------------------
+
+  void record_delivery(SubRun& run, int rank, int chunk, ChunkMessage message) {
+    auto& per_sub = result_.delivered[rank];
+    if (per_sub.empty()) ensure_delivery_slots(rank);
+    per_sub[static_cast<std::size_t>(run.index)][static_cast<std::size_t>(chunk)] = message.value;
+    result_.delivered_masks[rank][static_cast<std::size_t>(run.index)]
+                           [static_cast<std::size_t>(chunk)] = message.mask;
+  }
+
+  void note_rank_activity(int rank) { result_.rank_finish_time[rank] = sim_.now(); }
+
+  void complete_deliverable() {
+    if (--outstanding_ == 0) finish();
+  }
+
+  void schedule_op(Seconds when, std::function<void()> body) {
+    ++pending_ops_;
+    sim_.schedule_at(std::max(when, sim_.now()), [this, body = std::move(body)] {
+      body();
+      op_done();
+    });
+  }
+
+  void op_done() {
+    if (--pending_ops_ == 0 && finished_) {
+      // All traffic (including relay-bound tail traffic) has drained.
+      if (on_idle_) sim_.schedule_after(0, on_idle_);
+    }
+  }
+
+  void finish() {
+    finished_ = true;
+    result_.finished = sim_.now();
+    result_.subs.resize(strategy_.subs.size());
+    if (on_complete_) {
+      // Deliver via a fresh event so the callback never runs inside a
+      // channel/stream callback of this invocation.
+      sim_.schedule_after(0, [this] { on_complete_(result_); });
+    }
+    if (pending_ops_ == 0 && on_idle_) sim_.schedule_after(0, on_idle_);
+  }
+
+  topology::Cluster& cluster_;
+  sim::Simulator& sim_;
+  const Strategy& strategy_;
+  Bytes tensor_bytes_;
+  CollectiveOptions options_;
+  std::function<void(const CollectiveResult&)> on_complete_;
+  std::function<void()> on_idle_;
+
+  std::vector<std::unique_ptr<SubRun>> subs_;
+  std::vector<std::unique_ptr<sim::EdgeChannel>> channels_;
+  std::vector<std::unique_ptr<sim::GpuStream>> streams_;
+
+  CollectiveResult result_;
+  long outstanding_ = 0;
+  long pending_ops_ = 0;
+  bool finished_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+Executor::Executor(topology::Cluster& cluster, Strategy strategy)
+    : cluster_(cluster), strategy_(std::move(strategy)) {}
+
+Executor::~Executor() { *alive_ = false; }
+
+void Executor::start(Bytes tensor_bytes, CollectiveOptions options,
+                     std::function<void(const CollectiveResult&)> on_complete) {
+  if (invocation_ != nullptr) throw std::logic_error("Executor: invocation already in flight");
+  invocation_ = std::make_unique<Invocation>(
+      cluster_, strategy_, tensor_bytes, std::move(options), std::move(on_complete),
+      /*on_idle=*/[this, alive = alive_] {
+        if (*alive) invocation_.reset();
+      });
+  invocation_->start();
+}
+
+CollectiveResult Executor::run(Bytes tensor_bytes, CollectiveOptions options) {
+  CollectiveResult result;
+  bool done = false;
+  start(tensor_bytes, std::move(options), [&result, &done](const CollectiveResult& r) {
+    result = r;
+    done = true;
+  });
+  sim::Simulator& sim = cluster_.simulator();
+  while (!done && sim.step()) {
+  }
+  if (!done) throw std::logic_error("Executor::run: simulation drained before completion");
+  // Drain relay tail traffic so the executor is reusable immediately.
+  while (invocation_ != nullptr && sim.step()) {
+  }
+  return result;
+}
+
+}  // namespace adapcc::collective

@@ -1,0 +1,42 @@
+#include "collective/primitive.h"
+
+namespace adapcc::collective {
+
+std::string to_string(Primitive primitive) {
+  switch (primitive) {
+    case Primitive::kReduce: return "reduce";
+    case Primitive::kBroadcast: return "broadcast";
+    case Primitive::kAllReduce: return "allreduce";
+    case Primitive::kAllGather: return "allgather";
+    case Primitive::kReduceScatter: return "reducescatter";
+    case Primitive::kAllToAll: return "alltoall";
+  }
+  return "?";
+}
+
+double data_volume_factor(Primitive primitive, int participants) {
+  const double n = participants;
+  switch (primitive) {
+    case Primitive::kAllReduce: return 2.0 * (n - 1.0);
+    case Primitive::kAllToAll: return n;
+    case Primitive::kAllGather: return n - 1.0;
+    case Primitive::kReduceScatter: return n - 1.0;
+    case Primitive::kReduce:
+    case Primitive::kBroadcast: return 1.0;
+  }
+  return 1.0;
+}
+
+bool requires_aggregation(Primitive primitive) {
+  switch (primitive) {
+    case Primitive::kReduce:
+    case Primitive::kAllReduce:
+    case Primitive::kReduceScatter: return true;
+    case Primitive::kBroadcast:
+    case Primitive::kAllGather:
+    case Primitive::kAllToAll: return false;
+  }
+  return false;
+}
+
+}  // namespace adapcc::collective

@@ -1,0 +1,34 @@
+#include "profiler/alpha_beta.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adapcc::profiler {
+
+void AlphaBetaEstimator::add_sample(Bytes bytes, Seconds elapsed) {
+  if (elapsed <= 0) throw std::invalid_argument("AlphaBetaEstimator: non-positive time");
+  bytes_.push_back(static_cast<double>(bytes));
+  times_.push_back(elapsed);
+}
+
+AlphaBeta AlphaBetaEstimator::estimate() const {
+  const auto fit = util::fit_line(bytes_, times_);
+  AlphaBeta result;
+  result.alpha = std::max(0.0, fit.intercept);
+  result.beta = std::max(0.0, fit.slope);
+  result.r_squared = fit.r_squared;
+  return result;
+}
+
+std::vector<ProbeShape> default_probe_plan() {
+  // Mirrors the paper: the same payload sent as n small chunks and as one
+  // grouped chunk, over a spread of sizes so the regression separates the
+  // latency term from the bandwidth term.
+  return {
+      {256_KiB, 8}, {2_MiB, 1},   // 2 MiB total, split vs grouped
+      {1_MiB, 8},   {8_MiB, 1},   // 8 MiB total
+      {4_MiB, 8},   {32_MiB, 1},  // 32 MiB total
+  };
+}
+
+}  // namespace adapcc::profiler

@@ -1,0 +1,201 @@
+#include "profiler/profiler.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/edge_channel.h"
+#include "util/logging.h"
+
+namespace adapcc::profiler {
+
+namespace {
+
+using topology::EdgeType;
+using topology::LogicalTopology;
+using topology::NodeId;
+
+/// Default costs for unprofiled PCIe edges (Sec. IV-B: PCIe movement is
+/// overlapped with network transmission, so it is not probed).
+constexpr Seconds kPcieDefaultAlpha = microseconds(10);
+const double kPcieDefaultBeta = 1.0 / gBps(20);
+
+/// Drives the probe plan over one edge: each ProbeShape becomes a fresh
+/// EdgeChannel carrying `count` chunks; the elapsed time of the whole shape
+/// is one regression sample. Shapes run sequentially; `on_done` fires after
+/// the last one.
+class EdgeProbe {
+ public:
+  /// `channels` parallel streams carry the probe traffic round-robin; with
+  /// channels > 1 the fitted beta measures the *port* rate reachable by
+  /// concurrent streams rather than the single-stream rate (distinguishing
+  /// TCP's per-stream kernel ceiling from the NIC capacity, Sec. VI-D).
+  EdgeProbe(sim::Simulator& sim, std::vector<sim::FlowLink*> path,
+            const std::vector<ProbeShape>& plan, int repetitions, int channels,
+            std::function<void()> on_done)
+      : sim_(sim), path_(std::move(path)), channels_(channels), on_done_(std::move(on_done)) {
+    for (int r = 0; r < repetitions; ++r) {
+      shapes_.insert(shapes_.end(), plan.begin(), plan.end());
+    }
+  }
+
+  void start() { next_shape(); }
+
+  const AlphaBetaEstimator& estimator() const noexcept { return estimator_; }
+
+ private:
+  void next_shape() {
+    if (shape_index_ >= shapes_.size()) {
+      if (on_done_) on_done_();
+      return;
+    }
+    const ProbeShape& shape = shapes_[shape_index_];
+    channels_pool_.clear();
+    for (int k = 0; k < channels_; ++k) {
+      channels_pool_.push_back(std::make_unique<sim::EdgeChannel>(sim_, path_));
+    }
+    started_at_ = sim_.now();
+    remaining_ = 0;
+    // Each probe message is packetized onto the wire (real NICs stream a
+    // large send; they do not store-and-forward it whole), so even a
+    // "grouped" single message measures the bottleneck streaming rate of a
+    // multi-link edge rather than the sum of per-link serializations.
+    constexpr Bytes kWireGranularity = 512_KiB;
+    std::size_t next_channel = 0;
+    for (int c = 0; c < shape.count; ++c) {
+      Bytes left = shape.bytes;
+      while (left > 0) {
+        const Bytes piece = std::min(left, kWireGranularity);
+        left -= piece;
+        ++remaining_;
+        channels_pool_[next_channel % channels_pool_.size()]->send(
+            piece, [this] { on_chunk_delivered(); });
+        ++next_channel;
+      }
+    }
+  }
+
+  void on_chunk_delivered() {
+    if (--remaining_ > 0) return;
+    const ProbeShape& shape = shapes_[shape_index_];
+    estimator_.add_sample(shape.bytes * static_cast<Bytes>(shape.count),
+                          sim_.now() - started_at_);
+    ++shape_index_;
+    next_shape();
+  }
+
+  sim::Simulator& sim_;
+  std::vector<sim::FlowLink*> path_;
+  std::vector<ProbeShape> shapes_;
+  int channels_ = 1;
+  std::function<void()> on_done_;
+  std::vector<std::unique_ptr<sim::EdgeChannel>> channels_pool_;
+  AlphaBetaEstimator estimator_;
+  Seconds started_at_ = 0;
+  int remaining_ = 0;
+  std::size_t shape_index_ = 0;
+};
+
+}  // namespace
+
+std::vector<AlphaBeta> Profiler::probe_edges_concurrently(
+    const std::vector<std::pair<NodeId, NodeId>>& edges, int channels) {
+  sim::Simulator& sim = cluster_.simulator();
+  std::vector<std::unique_ptr<EdgeProbe>> probes;
+  std::size_t outstanding = edges.size();
+  probes.reserve(edges.size());
+  for (const auto& [from, to] : edges) {
+    probes.push_back(std::make_unique<EdgeProbe>(sim, cluster_.edge_path(from, to), config_.plan,
+                                                 config_.repetitions, channels,
+                                                 [&outstanding] { --outstanding; }));
+  }
+  for (auto& probe : probes) probe->start();
+  while (outstanding > 0 && sim.step()) {
+  }
+  std::vector<AlphaBeta> results;
+  results.reserve(probes.size());
+  for (const auto& probe : probes) results.push_back(probe->estimator().estimate());
+  return results;
+}
+
+AlphaBeta Profiler::probe_edge(NodeId from, NodeId to) {
+  return probe_edges_concurrently({{from, to}}).front();
+}
+
+ProfileReport Profiler::profile(LogicalTopology& topo) {
+  sim::Simulator& sim = cluster_.simulator();
+  ProfileReport report;
+  const Seconds start = sim.now();
+
+  // --- Stage 1: intra-instance NVLink profiling, all instances at once. ---
+  // Each NVLink pair is a dedicated link, so probing every pair of every
+  // instance concurrently is interference-free.
+  std::vector<std::pair<NodeId, NodeId>> nvlink_edges;
+  for (const auto& edge : topo.edges()) {
+    if (edge.type == EdgeType::kNvlink) nvlink_edges.emplace_back(edge.from, edge.to);
+  }
+  const auto nvlink_costs = probe_edges_concurrently(nvlink_edges);
+  for (std::size_t i = 0; i < nvlink_edges.size(); ++i) {
+    auto& edge = topo.mutable_edge(nvlink_edges[i].first, nvlink_edges[i].second);
+    edge.alpha = nvlink_costs[i].alpha;
+    edge.beta = nvlink_costs[i].beta;
+    edge.profiled = true;
+    report.measurements.push_back(
+        {nvlink_edges[i].first, nvlink_edges[i].second, nvlink_costs[i]});
+  }
+
+  // --- Stage 2: inter-instance NIC profiling, N-1 rounds with barriers. ---
+  const int n = cluster_.instance_count();
+  for (int round = 1; round < n; ++round) {
+    std::vector<std::pair<NodeId, NodeId>> round_edges;
+    for (int inst = 0; inst < n; ++inst) {
+      round_edges.emplace_back(NodeId::nic(inst), NodeId::nic((inst + round) % n));
+    }
+    const auto costs = probe_edges_concurrently(round_edges);  // barrier inside
+    // A second pass with four parallel streams exposes the reachable port
+    // rate (TCP per-stream ceilings disappear; RDMA measures the same).
+    const auto port_costs = probe_edges_concurrently(round_edges, /*channels=*/4);
+    for (std::size_t i = 0; i < round_edges.size(); ++i) {
+      auto& edge = topo.mutable_edge(round_edges[i].first, round_edges[i].second);
+      edge.alpha = costs[i].alpha;
+      edge.beta = costs[i].beta;
+      edge.port_beta = std::min(costs[i].beta, port_costs[i].beta);
+      edge.profiled = true;
+      report.measurements.push_back({round_edges[i].first, round_edges[i].second, costs[i]});
+    }
+    ++report.inter_instance_rounds;
+  }
+
+  // --- Stage 2b: composite cross-instance GPU-GPU edges inherit the NIC
+  // pair's measured cost (the wire dominates; PCIe staging overlaps).
+  // Always refreshed — re-profiling must propagate new NIC measurements.
+  for (auto& edge : topo.mutable_edges()) {
+    if (edge.type != EdgeType::kNetwork) continue;
+    if (!edge.from.is_gpu() || !edge.to.is_gpu()) continue;
+    const NodeId nic_from = NodeId::nic(cluster_.instance_of_rank(edge.from.index));
+    const NodeId nic_to = NodeId::nic(cluster_.instance_of_rank(edge.to.index));
+    if (topo.has_edge(nic_from, nic_to) && topo.edge(nic_from, nic_to).profiled) {
+      const auto& nic_edge = topo.edge(nic_from, nic_to);
+      edge.alpha = nic_edge.alpha + 2 * kPcieDefaultAlpha;
+      edge.beta = nic_edge.beta;
+      edge.port_beta = nic_edge.port_beta;
+      edge.profiled = true;
+    }
+  }
+
+  // --- Stage 3: PCIe defaults for everything unprofiled. -----------------
+  for (auto& edge : topo.mutable_edges()) {
+    if (!edge.profiled) {
+      edge.alpha = kPcieDefaultAlpha;
+      edge.beta = kPcieDefaultBeta;
+      edge.profiled = true;  // has usable values, just not measured
+    }
+  }
+
+  report.wall_time = sim.now() - start;
+  ADAPCC_LOG(kInfo, "profiler") << "profiled " << report.measurements.size() << " edges in "
+                                << report.wall_time << "s (" << report.inter_instance_rounds
+                                << " network rounds)";
+  return report;
+}
+
+}  // namespace adapcc::profiler

@@ -1,0 +1,68 @@
+// Profiler (Sec. IV-B): measures alpha-beta costs of the logical topology's
+// links by driving probe traffic on the simulated hardware.
+//
+// Procedure, as in the paper:
+//   1. All instances run intra-instance GPU-to-GPU profiling concurrently
+//      (their links are disjoint, so there is no cross interference).
+//   2. Inter-instance NIC-to-NIC profiling runs in N-1 rounds with a barrier
+//      between rounds; in round i, instance n probes instance (n+i) % N.
+//      This consensus guarantees at most one probe flow on any ingress or
+//      egress port at a time — maximal parallelism without interference.
+//   3. PCIe edges are not probed (their movement overlaps with network
+//      transfers); they receive empirical default costs.
+//
+// Training is blocked while profiling runs; the report's wall_time is the
+// simulated time the block lasted (compared in Fig. 19c).
+#pragma once
+
+#include <vector>
+
+#include "profiler/alpha_beta.h"
+#include "topology/cluster.h"
+#include "topology/logical_topology.h"
+
+namespace adapcc::profiler {
+
+struct ProfilerConfig {
+  std::vector<ProbeShape> plan = default_probe_plan();
+  /// Extra repetitions of the whole plan per link (more samples, more time).
+  int repetitions = 1;
+};
+
+struct EdgeMeasurement {
+  topology::NodeId from;
+  topology::NodeId to;
+  AlphaBeta cost;
+};
+
+struct ProfileReport {
+  std::vector<EdgeMeasurement> measurements;
+  int inter_instance_rounds = 0;
+  Seconds wall_time = 0.0;  ///< simulated time training was blocked
+};
+
+class Profiler {
+ public:
+  Profiler(topology::Cluster& cluster, ProfilerConfig config = {})
+      : cluster_(cluster), config_(std::move(config)) {}
+
+  /// Probes every NVLink and network edge of `topo`, writes the estimated
+  /// alpha/beta into the edges, assigns PCIe defaults, and returns the
+  /// report. Advances simulated time (the training job is blocked).
+  ProfileReport profile(topology::LogicalTopology& topo);
+
+ private:
+  /// Sends the probe plan through the edge's physical path, returning the
+  /// fitted cost. Runs the simulator inline.
+  AlphaBeta probe_edge(topology::NodeId from, topology::NodeId to);
+
+  /// Runs a set of edge probes concurrently (one per edge); returns fitted
+  /// costs in the same order.
+  std::vector<AlphaBeta> probe_edges_concurrently(
+      const std::vector<std::pair<topology::NodeId, topology::NodeId>>& edges, int channels = 1);
+
+  topology::Cluster& cluster_;
+  ProfilerConfig config_;
+};
+
+}  // namespace adapcc::profiler

@@ -1,0 +1,103 @@
+#include "relay/coordinator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "relay/ski_rental.h"
+#include "synthesizer/cost_model.h"
+
+namespace adapcc::relay {
+
+RelayDecision Coordinator::decide(const std::map<int, Seconds>& ready_at, Seconds now,
+                                  const collective::Strategy& strategy, Bytes tensor_bytes,
+                                  const std::map<int, Seconds>& fill_start) const {
+  if (strategy.participants.empty()) throw std::invalid_argument("decide: no participants");
+  Seconds all_ready = now;
+  for (const int rank : strategy.participants) {
+    const auto it = ready_at.find(rank);
+    const Seconds t = it == ready_at.end() ? now : it->second;
+    all_ready = std::max(all_ready, t);
+  }
+
+  // Per-late-tensor phase-2 cost is bounded by the slowest network hop.
+  const double net_beta = synthesizer::max_network_beta(strategy, topo_);
+  const Seconds full_estimate =
+      synthesizer::estimate_completion_time(strategy, topo_, tensor_bytes, {});
+  const auto ready_set = [&](Seconds t) {
+    std::set<int> ready;
+    for (const int rank : strategy.participants) {
+      const auto it = ready_at.find(rank);
+      if (it == ready_at.end() || it->second <= t) ready.insert(rank);
+    }
+    return ready;
+  };
+
+  RelayDecision decision;
+  const std::size_t world = strategy.participants.size();
+  if (config_.policy == WaitPolicy::kAlwaysWait) {
+    decision.partial = false;
+    decision.trigger_time = std::max(all_ready, now);
+    decision.phase1_active = ready_set(all_ready);
+    decision.waited = decision.trigger_time - now;
+    return decision;
+  }
+  // Walk decision cycles until either everyone is ready or the accumulated
+  // waiting cost crosses the break-even threshold (or, under
+  // kAlwaysProceed, the first cycle with two ready workers).
+  for (Seconds t = now;; t += config_.cycle) {
+    const auto ready = ready_set(t);
+    if (ready.size() == world) {
+      decision.partial = false;
+      decision.trigger_time = std::max(all_ready, now);
+      decision.phase1_active = ready;
+      decision.waited = decision.trigger_time - now;
+      return decision;
+    }
+    // Buying = the *extra* time option (2) spends versus simply running the
+    // full collective once everyone is ready: phase 1 among the ready subset
+    // replaces work the full collective would do anyway, so only (a) any
+    // slowdown of phase 1 caused by the smaller active set and (b) phase-2
+    // dissemination of the missing tensors count. Phase 2 = one reduce among
+    // the late workers plus one broadcast (see RelayCollectiveRunner), at
+    // most two network tensor traversals however many workers are late.
+    const Seconds phase1_est = ready.size() >= 2
+                                   ? synthesizer::estimate_completion_time(
+                                         strategy, topo_, tensor_bytes, ready)
+                                   : 0.0;
+    const Seconds phase1_penalty = std::max(0.0, phase1_est - full_estimate);
+    // Non-ready workers whose buffers are already filling will join the
+    // ongoing aggregation (Sec. IV-C) — free; only the rest need phase 2.
+    double phase2_late = 0.0;
+    for (const int rank : strategy.participants) {
+      if (ready.contains(rank)) continue;
+      const auto fill_it = fill_start.find(rank);
+      const bool filling = fill_it != fill_start.end() && fill_it->second <= t;
+      if (!filling) phase2_late += 1.0;
+    }
+    const Seconds phase2_est =
+        std::min(phase2_late, 2.0) * net_beta * static_cast<double>(tensor_bytes);
+    const Seconds buy = phase1_penalty + phase2_est;
+    const Seconds waited = t - now;
+    // Phase 1 needs at least two contributors to be meaningful.
+    const bool proceed =
+        config_.policy == WaitPolicy::kAlwaysProceed ||
+        SkiRentalPolicy::decide(waited, buy) == SkiRentalPolicy::Choice::kProceed;
+    if (ready.size() >= 2 && proceed) {
+      decision.partial = true;
+      decision.trigger_time = t;
+      decision.phase1_active = ready;
+      for (const int rank : strategy.participants) {
+        if (!ready.contains(rank)) decision.relays.push_back(rank);
+      }
+      decision.waited = waited;
+      decision.buy_cost_estimate = buy;
+      return decision;
+    }
+  }
+}
+
+Seconds Coordinator::fault_deadline(Seconds phase1_finish, Seconds request_time) const noexcept {
+  return phase1_finish + config_.fault_multiplier * (phase1_finish - request_time);
+}
+
+}  // namespace adapcc::relay

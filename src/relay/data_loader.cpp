@@ -1,0 +1,42 @@
+#include "relay/data_loader.h"
+
+#include <algorithm>
+
+namespace adapcc::relay {
+
+DataLoader::DataLoader(int global_batch_size, std::vector<int> workers)
+    : global_batch_(global_batch_size), workers_(std::move(workers)) {
+  if (global_batch_ <= 0) throw std::invalid_argument("DataLoader: non-positive batch");
+  if (workers_.empty()) throw std::invalid_argument("DataLoader: no workers");
+  std::sort(workers_.begin(), workers_.end());
+  split();
+}
+
+void DataLoader::redistribute(const std::set<int>& failed) {
+  std::vector<int> remaining;
+  for (const int w : workers_) {
+    if (!failed.contains(w)) remaining.push_back(w);
+  }
+  if (remaining.empty()) throw std::invalid_argument("DataLoader: all workers failed");
+  workers_ = std::move(remaining);
+  split();
+}
+
+int DataLoader::batch_of(int worker) const {
+  const auto it = batch_of_.find(worker);
+  if (it == batch_of_.end()) throw std::out_of_range("DataLoader: unknown worker");
+  return it->second;
+}
+
+void DataLoader::split() {
+  batch_of_.clear();
+  const int n = static_cast<int>(workers_.size());
+  const int base = global_batch_ / n;
+  int remainder = global_batch_ % n;
+  for (const int w : workers_) {
+    batch_of_[w] = base + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+  }
+}
+
+}  // namespace adapcc::relay

@@ -1,0 +1,35 @@
+// Data-loader redistribution (Sec. IV-C-2).
+//
+// After fault recovery the coordinator notifies the remaining workers' data
+// loaders to repartition the training data so the *global* batch size stays
+// constant for the whole run — the invariant that keeps training statistics
+// unchanged when workers are excluded.
+#pragma once
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace adapcc::relay {
+
+class DataLoader {
+ public:
+  DataLoader(int global_batch_size, std::vector<int> workers);
+
+  /// Removes `failed` workers and re-splits the global batch among the rest.
+  void redistribute(const std::set<int>& failed);
+
+  int batch_of(int worker) const;
+  int global_batch_size() const noexcept { return global_batch_; }
+  const std::vector<int>& workers() const noexcept { return workers_; }
+
+ private:
+  void split();
+
+  int global_batch_;
+  std::vector<int> workers_;
+  std::map<int, int> batch_of_;
+};
+
+}  // namespace adapcc::relay

@@ -1,0 +1,271 @@
+#include "relay/relay_collective.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "collective/builders.h"
+#include "collective/payload.h"
+#include "synthesizer/cost_model.h"
+#include "util/logging.h"
+
+namespace adapcc::relay {
+
+namespace {
+using collective::CollectiveOptions;
+using collective::CollectiveResult;
+using collective::Executor;
+using collective::payload_value;
+using collective::Primitive;
+using collective::rank_bit;
+using collective::Strategy;
+using collective::Tree;
+using topology::NodeId;
+}  // namespace
+
+Tree RelayCollectiveRunner::broadcast_tree(const std::vector<int>& participants,
+                                           int root_rank) const {
+  // Per-instance rank-order chains headed by the lowest rank (or the root on
+  // its own instance); heads hang off their NIC, and the NICs form a chain
+  // starting at the root's NIC. A chain is bandwidth-optimal for a pipelined
+  // broadcast: each inter-instance link carries exactly one copy of the
+  // tensor, instead of the root NIC's egress fanning out several copies.
+  std::map<int, std::vector<int>> by_instance;
+  for (const int rank : participants) {
+    by_instance[cluster_.instance_of_rank(rank)].push_back(rank);
+  }
+  const int root_instance = cluster_.instance_of_rank(root_rank);
+  Tree tree;
+  tree.root = NodeId::gpu(root_rank);
+  for (auto& [inst, ranks] : by_instance) {
+    std::sort(ranks.begin(), ranks.end());
+    // Head: the root itself on the root instance, else the lowest rank.
+    const int head = inst == root_instance ? root_rank : ranks.front();
+    std::vector<int> order{head};
+    for (const int rank : ranks) {
+      if (rank != head) order.push_back(rank);
+    }
+    for (std::size_t i = order.size(); i-- > 1;) {
+      tree.parent[NodeId::gpu(order[i])] = NodeId::gpu(order[i - 1]);
+    }
+  }
+  // Chain the heads across instances, starting at the root's head: each
+  // inter-instance hop carries exactly one copy of the tensor.
+  NodeId up = NodeId::gpu(root_rank);
+  for (const auto& [inst, ranks] : by_instance) {
+    if (inst == root_instance) continue;
+    const NodeId head = NodeId::gpu(ranks.front());
+    tree.parent[head] = up;
+    up = head;
+  }
+  return tree;
+}
+
+RelayRunResult RelayCollectiveRunner::run_allreduce(const Strategy& strategy, Bytes tensor_bytes,
+                                                    const std::map<int, Seconds>& ready_at,
+                                                    const std::map<int, Seconds>& fill_start) {
+  sim::Simulator& sim = cluster_.simulator();
+  RelayRunResult result;
+  const Seconds request_time = sim.now();
+
+  Seconds fastest = std::numeric_limits<Seconds>::infinity();
+  for (const int rank : strategy.participants) {
+    const auto it = ready_at.find(rank);
+    fastest = std::min(fastest, it == ready_at.end() ? sim.now() : it->second);
+  }
+  fastest = std::max(fastest, sim.now());
+
+  const RelayDecision decision =
+      coordinator_.decide(ready_at, fastest, strategy, tensor_bytes, fill_start);
+  result.decision = decision;
+  result.partial = decision.partial;
+  result.relays = decision.relays;
+  result.wait_time = decision.waited;
+
+  // --- Joiner selection (Sec. IV-C): relays expected ready soon keep
+  // contributing — their chunks enter the ongoing aggregation while their
+  // gradient buffers fill, leaving no phase-2 work for them.
+  std::set<int> phase1_active = decision.phase1_active;
+  std::vector<int> still_late;
+  if (decision.partial) {
+    // A relay whose gradient buffer is already filling at the trigger (its
+    // backward pass is running — the "computed tensor data fills the GPU
+    // memory buffer" signal of Sec. IV-C) keeps contributing: its chunks
+    // join the ongoing aggregation, which always beats disseminating the
+    // whole tensor in phase 2 afterwards. Relays with no fill progress —
+    // not yet computing, severely interfered, or dead — stay out, so a
+    // failed worker can never stall the phase-1 executor; they are covered
+    // by phase 2 and the fault detector. Without fill information a
+    // conservative readiness window substitutes for the progress signal.
+    const Seconds full_est = synthesizer::estimate_completion_time(
+        strategy, topo_, tensor_bytes, {});
+    const Seconds join_window =
+        decision.trigger_time + coordinator_.config().join_horizon_factor * full_est;
+    for (const int rank : decision.relays) {
+      const auto ready_it = ready_at.find(rank);
+      const Seconds ready = ready_it == ready_at.end() ? decision.trigger_time : ready_it->second;
+      const auto fill_it = fill_start.find(rank);
+      const bool filling = fill_it != fill_start.end() && fill_it->second <= decision.trigger_time;
+      if (filling || ready <= join_window) {
+        phase1_active.insert(rank);
+        result.joined.push_back(rank);
+      } else {
+        still_late.push_back(rank);
+      }
+    }
+  }
+
+  // --- Phase 1 (or the full collective when not partial). -----------------
+  // Either way the executor starts immediately: tensors (and, with
+  // fill_start, individual chunks) enter the pipeline as they are produced,
+  // so communication overlaps the stragglers' remaining computation. The
+  // trigger time only marks when the coordinator committed to partial mode.
+  CollectiveOptions options;
+  options.active_ranks = phase1_active;
+  for (const auto& [rank, t] : ready_at) options.ready_at[rank] = t;
+  // Incremental buffer filling applies to the joining relays only: ready
+  // workers' tensors enter when their computation completes (the normal
+  // communication request), while a joiner's chunks stream into the ongoing
+  // aggregation as its backward pass produces them (Sec. IV-C).
+  for (const int rank : result.joined) {
+    const auto it = fill_start.find(rank);
+    if (it != fill_start.end()) options.fill_start[rank] = it->second;
+  }
+
+  Executor executor(cluster_, strategy);
+  const CollectiveResult phase1 = executor.run(tensor_bytes, options);
+  result.phase1_finish = phase1.finished;
+
+  // Collect phase-1 values of (sub 0, chunk 0) per participant.
+  collective::ContributorMask mask = 0;
+  for (const int rank : phase1_active) mask |= rank_bit(rank);
+  for (const int rank : strategy.participants) {
+    const auto it = phase1.delivered.find(rank);
+    double value = 0.0;
+    if (it != phase1.delivered.end() && !it->second.empty() && !it->second[0].empty() &&
+        !std::isnan(it->second[0][0])) {
+      value = it->second[0][0];
+    }
+    result.final_values[rank] = value;
+  }
+
+  result.phase2_finish = result.phase1_finish;
+
+  if (decision.partial) {
+    // --- Fault detection. --------------------------------------------------
+    const Seconds deadline = coordinator_.fault_deadline(result.phase1_finish, request_time);
+    std::vector<int> late_ok;
+    for (const int rank : still_late) {
+      const auto it = ready_at.find(rank);
+      const Seconds t = it == ready_at.end() ? result.phase1_finish : it->second;
+      if (t <= deadline) {
+        late_ok.push_back(rank);
+      } else {
+        result.faulty.insert(rank);
+      }
+    }
+
+    // --- Phase 2: disseminate the late tensors, combine locally. -----------
+    // A few late workers broadcast their tensors individually and
+    // concurrently, each the moment it becomes ready — a mildly late worker
+    // must not be gated on a severe straggler. A large late group (e.g. the
+    // slow half of a bimodal cluster) is first aggregated among the late
+    // workers with one Reduce and the combined tensor broadcast once, which
+    // moves two tensors across the network instead of |late| tensors.
+    if (!late_ok.empty()) {
+      std::sort(late_ok.begin(), late_ok.end());
+      // Group when a sizable cohort (>= 1/3 of the world) is late, e.g. the
+      // slow half of a bimodal cluster; scattered jitter-tail stragglers
+      // broadcast individually so none is gated on the slowest.
+      const std::size_t kGroupThreshold =
+          std::max<std::size_t>(4, (strategy.participants.size() + 2) / 3);
+      const auto make_broadcast = [&](int root) {
+        Strategy bcast;
+        bcast.primitive = Primitive::kBroadcast;
+        bcast.participants = strategy.participants;
+        bcast.origin = strategy.origin;
+        collective::SubCollective sub;
+        sub.fraction = 1.0;
+        sub.chunk_bytes = strategy.subs.front().chunk_bytes;
+        sub.tree = broadcast_tree(strategy.participants, root);
+        bcast.subs.push_back(std::move(sub));
+        return bcast;
+      };
+
+      if (late_ok.size() < kGroupThreshold) {
+        std::vector<std::unique_ptr<Executor>> broadcasts;
+        std::size_t outstanding = late_ok.size();
+        std::vector<Seconds> finishes(late_ok.size(), 0.0);
+        for (std::size_t i = 0; i < late_ok.size(); ++i) {
+          const int late = late_ok[i];
+          broadcasts.push_back(std::make_unique<Executor>(cluster_, make_broadcast(late)));
+          CollectiveOptions options2;
+          const auto it = ready_at.find(late);
+          if (it != ready_at.end()) options2.ready_at[late] = it->second;
+          broadcasts.back()->start(tensor_bytes, options2,
+                                   [&finishes, &outstanding, i](const CollectiveResult& r) {
+                                     finishes[i] = r.finished;
+                                     --outstanding;
+                                   });
+        }
+        while (outstanding > 0 && sim.step()) {
+        }
+        if (outstanding > 0) throw std::logic_error("phase 2 drained early");
+        // Drain executor tail traffic before the executors go out of scope.
+        for (;;) {
+          bool busy = false;
+          for (const auto& executor : broadcasts) busy = busy || executor->busy();
+          if (!busy || !sim.step()) break;
+        }
+        for (const Seconds f : finishes) result.phase2_finish = std::max(result.phase2_finish, f);
+      } else {
+        const int phase2_root = late_ok.front();
+        Strategy gather;
+        gather.primitive = Primitive::kReduce;
+        gather.participants = late_ok;
+        gather.origin = strategy.origin;
+        collective::SubCollective sub;
+        sub.fraction = 1.0;
+        sub.chunk_bytes = strategy.subs.front().chunk_bytes;
+        sub.tree = broadcast_tree(late_ok, phase2_root);
+        gather.subs.push_back(std::move(sub));
+        Executor reduce_exec(cluster_, std::move(gather));
+        CollectiveOptions reduce_options;
+        for (const int late : late_ok) {
+          const auto it = ready_at.find(late);
+          if (it != ready_at.end()) reduce_options.ready_at[late] = it->second;
+        }
+        const Seconds late_sum_ready = reduce_exec.run(tensor_bytes, reduce_options).finished;
+
+        Executor bcast_exec(cluster_, make_broadcast(phase2_root));
+        CollectiveOptions bcast_options;
+        bcast_options.ready_at[phase2_root] = late_sum_ready;
+        result.phase2_finish = bcast_exec.run(tensor_bytes, bcast_options).finished;
+      }
+    }
+
+    // Local combination: phase-1 aggregate + the late tensors. The late
+    // workers themselves also hold the phase-1 result (they relayed it /
+    // fetch it from the relay GPU's result queue, Sec. IV-C).
+    double phase1_value = 0.0;
+    for (const int rank : phase1_active) {
+      phase1_value = std::max(phase1_value, result.final_values[rank]);
+    }
+    for (const int late : late_ok) mask |= rank_bit(late);
+    for (const int rank : strategy.participants) {
+      if (result.faulty.contains(rank)) continue;
+      double value = std::max(result.final_values[rank], phase1_value);
+      for (const int late : late_ok) value += payload_value(late, 0, 0);
+      result.final_values[rank] = value;
+    }
+    for (const int rank : result.faulty) result.final_values.erase(rank);
+  }
+
+  result.final_mask = mask;
+  result.comm_time = result.phase2_finish - decision.trigger_time;
+  result.total_time = result.phase2_finish - fastest;
+  return result;
+}
+
+}  // namespace adapcc::relay

@@ -1,0 +1,64 @@
+#include "relay/rpc.h"
+
+#include <vector>
+
+#include "sim/flow_link.h"
+
+namespace adapcc::relay {
+
+namespace {
+
+/// One-way control message along the cluster path; returns on delivery.
+void send_control(topology::Cluster& cluster, int from_rank, int to_rank, Bytes bytes,
+                  std::function<void()> on_done) {
+  using topology::NodeId;
+  const int from_inst = cluster.instance_of_rank(from_rank);
+  const int to_inst = cluster.instance_of_rank(to_rank);
+  std::vector<sim::FlowLink*> links;
+  if (from_inst == to_inst) {
+    // Same instance: loopback through shared memory; modelled as free.
+    cluster.simulator().schedule_after(microseconds(15), std::move(on_done));
+    return;
+  }
+  const auto segment = cluster.edge_path(NodeId::nic(from_inst), NodeId::nic(to_inst));
+  links.insert(links.end(), segment.begin(), segment.end());
+  // Store-and-forward of one small message through the NIC pair.
+  struct Hop {
+    static void advance(std::vector<sim::FlowLink*> path, std::size_t index, Bytes bytes,
+                        std::function<void()> done) {
+      if (index >= path.size()) {
+        if (done) done();
+        return;
+      }
+      sim::FlowLink* link = path[index];
+      link->start_transfer(bytes, [path = std::move(path), index, bytes,
+                                   done = std::move(done)]() mutable {
+        advance(std::move(path), index + 1, bytes, std::move(done));
+      });
+    }
+  };
+  Hop::advance(std::move(links), 0, bytes, std::move(on_done));
+}
+
+}  // namespace
+
+Seconds measure_rpc_latency(topology::Cluster& cluster, int rank, int coordinator_rank,
+                            util::Rng& rng, const RpcConfig& config) {
+  sim::Simulator& sim = cluster.simulator();
+  const Seconds start = sim.now();
+  bool done = false;
+  // Request to the coordinator, then the relay-list response back.
+  send_control(cluster, rank, coordinator_rank, config.message_bytes, [&] {
+    send_control(cluster, coordinator_rank, rank, config.message_bytes, [&] { done = true; });
+  });
+  while (!done && sim.step()) {
+  }
+  Seconds host = 0.0;
+  for (int endpoint = 0; endpoint < 2; ++endpoint) {
+    host += rng.normal_at_least(config.host_overhead_mean, config.host_overhead_stddev,
+                                microseconds(20));
+  }
+  return (sim.now() - start) + host;
+}
+
+}  // namespace adapcc::relay

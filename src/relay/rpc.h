@@ -1,0 +1,28 @@
+// Coordinator RPC modelling (Sec. IV-C / Fig. 19d).
+//
+// Workers exchange relay information with the rank-0 coordinator via small
+// control messages. We measure the negotiation latency by sending an actual
+// control-sized payload through the simulated network path (worker GPU ->
+// NIC -> coordinator NIC -> coordinator GPU) plus host processing jitter.
+#pragma once
+
+#include "topology/cluster.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace adapcc::relay {
+
+struct RpcConfig {
+  Bytes message_bytes = 256;
+  /// Mean/stddev of per-endpoint host processing (serialization, syscall).
+  Seconds host_overhead_mean = microseconds(120);
+  Seconds host_overhead_stddev = microseconds(60);
+};
+
+/// Round-trip relay negotiation latency between `rank` and the coordinator
+/// (`coordinator_rank`): request + response, measured on the simulator.
+/// Advances simulated time by the measured amount.
+Seconds measure_rpc_latency(topology::Cluster& cluster, int rank, int coordinator_rank,
+                            util::Rng& rng, const RpcConfig& config = {});
+
+}  // namespace adapcc::relay

@@ -1,0 +1,177 @@
+#include "runtime/adapcc.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace adapcc::runtime {
+
+namespace {
+using collective::CollectiveOptions;
+using collective::CollectiveResult;
+using collective::Executor;
+using collective::Primitive;
+using collective::Strategy;
+}  // namespace
+
+Seconds context_setup_cost(int world_size, int contexts) {
+  // Buffer allocation + cudaIpcGetMemHandle per context (~2 ms each), plus
+  // an AllGather of the handle table whose latency grows mildly with the
+  // number of processes, plus host-IP table exchange.
+  const Seconds per_context = milliseconds(2.0);
+  const Seconds handle_allgather = milliseconds(0.5) * world_size;
+  return per_context * contexts + handle_allgather + milliseconds(10);
+}
+
+Seconds nccl_restart_cost(int world_size, Bytes model_bytes) {
+  // Checkpoint gradients/model to disk (~1 GB/s), tear down, rebuild the
+  // process group (rendezvous grows with world size), restore the model and
+  // rebuild NCCL communicators.
+  const Seconds checkpoint = static_cast<double>(model_bytes) / 1e9;
+  const Seconds restore = static_cast<double>(model_bytes) / 1e9;
+  const Seconds process_group = 2.0 + 0.25 * world_size;
+  const Seconds communicator_init = 1.0 + 0.05 * world_size;
+  return checkpoint + restore + process_group + communicator_init;
+}
+
+Adapcc::Adapcc(topology::Cluster& cluster, AdapccConfig config)
+    : cluster_(cluster), config_(std::move(config)), rng_(config_.seed) {
+  for (int r = 0; r < cluster_.world_size(); ++r) participants_.push_back(r);
+}
+
+void Adapcc::init() {
+  topology::Detector detector(cluster_, rng_.fork());
+  detection_ = detector.detect();
+  topo_ = topology::Detector::build_logical_topology(cluster_, detection_);
+  profiler::Profiler profiler(cluster_, config_.profiler);
+  profiler.profile(topo_);
+  synthesizer_ = std::make_unique<synthesizer::Synthesizer>(cluster_, topo_, config_.synthesizer);
+  relay_runner_ =
+      std::make_unique<relay::RelayCollectiveRunner>(cluster_, topo_, config_.coordinator);
+  initialized_ = true;
+  ADAPCC_LOG(kInfo, "adapcc") << "init complete: " << cluster_.world_size() << " ranks, "
+                              << topo_.edge_count() << " logical edges";
+}
+
+Seconds Adapcc::setup() {
+  if (!initialized_) throw std::logic_error("adapcc.setup() before adapcc.init()");
+  const Seconds cost =
+      context_setup_cost(cluster_.world_size(), config_.synthesizer.parallel_subs);
+  cluster_.simulator().run_until(cluster_.simulator().now() + cost);
+  set_up_ = true;
+  return cost;
+}
+
+const collective::Strategy& Adapcc::strategy_for(Primitive primitive, Bytes tensor_bytes) {
+  if (!initialized_) throw std::logic_error("adapcc: collective before init()");
+  const auto it = strategies_.find(primitive);
+  if (it != strategies_.end()) return it->second;
+  Strategy strategy = synthesizer_->synthesize(primitive, participants_, tensor_bytes);
+  return strategies_.emplace(primitive, std::move(strategy)).first->second;
+}
+
+collective::Strategy Adapcc::synthesize(Primitive primitive, const std::vector<int>& participants,
+                                        Bytes tensor_bytes) {
+  if (!initialized_) throw std::logic_error("adapcc: synthesize before init()");
+  return synthesizer_->synthesize(primitive, participants, tensor_bytes);
+}
+
+CollectiveResult Adapcc::run_primitive(Primitive primitive, Bytes tensor_bytes,
+                                       CollectiveOptions options) {
+  if (!set_up_) setup();
+  const Strategy& strategy = strategy_for(primitive, tensor_bytes);
+  Executor executor(cluster_, strategy);
+  return executor.run(tensor_bytes, std::move(options));
+}
+
+CollectiveResult Adapcc::allreduce(Bytes tensor_bytes, CollectiveOptions options) {
+  return run_primitive(Primitive::kAllReduce, tensor_bytes, std::move(options));
+}
+CollectiveResult Adapcc::reduce(Bytes tensor_bytes, CollectiveOptions options) {
+  return run_primitive(Primitive::kReduce, tensor_bytes, std::move(options));
+}
+CollectiveResult Adapcc::broadcast(Bytes tensor_bytes, CollectiveOptions options) {
+  return run_primitive(Primitive::kBroadcast, tensor_bytes, std::move(options));
+}
+CollectiveResult Adapcc::allgather(Bytes tensor_bytes, CollectiveOptions options) {
+  return run_primitive(Primitive::kAllGather, tensor_bytes, std::move(options));
+}
+CollectiveResult Adapcc::reduce_scatter(Bytes tensor_bytes, CollectiveOptions options) {
+  return run_primitive(Primitive::kReduceScatter, tensor_bytes, std::move(options));
+}
+CollectiveResult Adapcc::alltoall(Bytes tensor_bytes, CollectiveOptions options) {
+  return run_primitive(Primitive::kAllToAll, tensor_bytes, std::move(options));
+}
+
+relay::RelayRunResult Adapcc::allreduce_adaptive(Bytes tensor_bytes,
+                                                 const std::map<int, Seconds>& ready_at,
+                                                 const std::map<int, Seconds>& fill_start) {
+  if (!set_up_) setup();
+  const Strategy& strategy = strategy_for(Primitive::kAllReduce, tensor_bytes);
+  return relay_runner_->run_allreduce(strategy, tensor_bytes, ready_at, fill_start);
+}
+
+ReconstructionReport Adapcc::reprofile(Bytes tensor_bytes) {
+  if (!initialized_) throw std::logic_error("adapcc: reprofile before init()");
+  ReconstructionReport report;
+
+  // 1. Profiling on the fly (training blocked, no checkpoint).
+  profiler::Profiler profiler(cluster_, config_.profiler);
+  report.profiling_time = profiler.profile(topo_).wall_time;
+
+  // 2. Re-synthesize each installed primitive; detect graph changes by
+  //    fingerprint (Sec. IV-B: unchanged graph -> resume immediately).
+  std::map<Primitive, Strategy> fresh;
+  for (const auto& [primitive, old_strategy] : strategies_) {
+    Strategy next = synthesizer_->synthesize(primitive, participants_, tensor_bytes);
+    report.solve_time_seconds += synthesizer_->last_report().solve_time_seconds;
+    if (next.fingerprint() != old_strategy.fingerprint()) report.graph_changed = true;
+    fresh.emplace(primitive, std::move(next));
+  }
+  if (strategies_.empty()) {
+    // Nothing installed yet: synthesize the default AllReduce once so the
+    // reconstruction cost is representative.
+    Strategy next = synthesizer_->synthesize(Primitive::kAllReduce, participants_, tensor_bytes);
+    report.solve_time_seconds += synthesizer_->last_report().solve_time_seconds;
+    fresh.emplace(Primitive::kAllReduce, std::move(next));
+    report.graph_changed = true;
+  }
+
+  // 3. Re-establish transmission contexts only when the graph changed.
+  if (report.graph_changed) {
+    strategies_ = std::move(fresh);
+    report.context_setup_time =
+        context_setup_cost(cluster_.world_size(), config_.synthesizer.parallel_subs);
+    cluster_.simulator().run_until(cluster_.simulator().now() + report.context_setup_time);
+  }
+  return report;
+}
+
+void Adapcc::exclude_workers(const std::set<int>& failed) {
+  std::vector<int> remaining;
+  for (const int rank : participants_) {
+    if (!failed.contains(rank)) remaining.push_back(rank);
+  }
+  if (remaining.size() < 2) throw std::invalid_argument("exclude_workers: < 2 workers remain");
+  participants_ = std::move(remaining);
+  strategies_.clear();  // graphs must be rebuilt for the smaller group
+}
+
+void Adapcc::include_workers(const std::set<int>& recovered) {
+  std::set<int> members(participants_.begin(), participants_.end());
+  for (const int rank : recovered) {
+    if (rank < 0 || rank >= cluster_.world_size()) {
+      throw std::invalid_argument("include_workers: rank outside the cluster");
+    }
+    members.insert(rank);
+  }
+  participants_.assign(members.begin(), members.end());
+  strategies_.clear();  // graphs must be rebuilt for the larger group
+}
+
+const synthesizer::SynthesisReport& Adapcc::last_synthesis() const {
+  if (synthesizer_ == nullptr) throw std::logic_error("adapcc: no synthesizer yet");
+  return synthesizer_->last_report();
+}
+
+}  // namespace adapcc::runtime

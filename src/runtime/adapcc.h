@@ -1,0 +1,145 @@
+// AdapCC public API (Sec. VI-A).
+//
+// The real library is imported in a training script as `import adapcc`;
+// users call adapcc.init() (topology detection, profiling, strategy
+// generation), adapcc.setup() (transmission-context set-up: buffer
+// registration and CUDA-IPC handle exchange, done once before training),
+// the primitives (allreduce(), alltoall(), ...), and adapcc.profile() to set
+// the runtime re-profiling period. This class is that API over the
+// simulated cluster; it is what the examples and the training loop use.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "collective/executor.h"
+#include "profiler/profiler.h"
+#include "relay/relay_collective.h"
+#include "synthesizer/synthesizer.h"
+#include "topology/cluster.h"
+#include "topology/detector.h"
+#include "topology/logical_topology.h"
+#include "util/rng.h"
+
+namespace adapcc::runtime {
+
+struct AdapccConfig {
+  synthesizer::SynthesizerConfig synthesizer;
+  profiler::ProfilerConfig profiler;
+  relay::CoordinatorConfig coordinator;
+  /// Re-profile every this many iterations (adapcc.profile(); Sec. VI-D
+  /// uses 500). Zero disables runtime profiling.
+  int profile_period_iterations = 500;
+  std::uint64_t seed = 42;
+};
+
+/// What one graph reconstruction cost (Fig. 19c): profiling, solving the
+/// optimization, and re-establishing transmission contexts — all without
+/// checkpointing or relaunching the job.
+struct ReconstructionReport {
+  Seconds profiling_time = 0.0;      ///< simulated, training blocked
+  double solve_time_seconds = 0.0;   ///< host wall-clock of the synthesizer
+  Seconds context_setup_time = 0.0;  ///< simulated buffer/IPC re-setup
+  bool graph_changed = false;
+  Seconds total() const noexcept {
+    return profiling_time + solve_time_seconds + context_setup_time;
+  }
+};
+
+class Adapcc {
+ public:
+  explicit Adapcc(topology::Cluster& cluster, AdapccConfig config = {});
+
+  /// adapcc.init(): detect topology, profile links, warm the synthesizer.
+  void init();
+
+  /// adapcc.setup(): registers buffers and exchanges CUDA-IPC handles for
+  /// the transmission contexts; returns the simulated set-up time. Must be
+  /// called after init() and before the first collective.
+  Seconds setup();
+
+  /// Collective primitives; each advances simulated time to completion.
+  /// Empty `participants` means all ranks. The AllReduce variant runs under
+  /// adaptive relay control when `ready_at` exhibits stragglers.
+  collective::CollectiveResult allreduce(Bytes tensor_bytes,
+                                         collective::CollectiveOptions options = {});
+  collective::CollectiveResult reduce(Bytes tensor_bytes,
+                                      collective::CollectiveOptions options = {});
+  collective::CollectiveResult broadcast(Bytes tensor_bytes,
+                                         collective::CollectiveOptions options = {});
+  collective::CollectiveResult allgather(Bytes tensor_bytes,
+                                         collective::CollectiveOptions options = {});
+  collective::CollectiveResult reduce_scatter(Bytes tensor_bytes,
+                                              collective::CollectiveOptions options = {});
+  collective::CollectiveResult alltoall(Bytes tensor_bytes,
+                                        collective::CollectiveOptions options = {});
+
+  /// AllReduce under the relay coordinator (Sec. IV-C): decides wait vs
+  /// phase-1/phase-2 from the per-rank ready times. `fill_start` optionally
+  /// models incremental gradient production during the backward pass.
+  relay::RelayRunResult allreduce_adaptive(Bytes tensor_bytes,
+                                           const std::map<int, Seconds>& ready_at,
+                                           const std::map<int, Seconds>& fill_start = {});
+
+  /// Runtime re-profiling + strategy regeneration (adapcc.profile() period
+  /// hits). Reconstructs the communication graph in place — no checkpoint,
+  /// no process-group rebuild. Returns the cost breakdown for Fig. 19c.
+  ReconstructionReport reprofile(Bytes tensor_bytes = megabytes(256));
+
+  /// Removes faulty workers from the participant set (fault recovery).
+  void exclude_workers(const std::set<int>& failed);
+
+  /// Re-admits previously excluded (recovered/replaced) workers — the
+  /// elastic-scaling scenario of Sec. IV-A. Detection already covers the
+  /// whole cluster, so only strategy regeneration is needed.
+  void include_workers(const std::set<int>& recovered);
+
+  const topology::LogicalTopology& topology() const { return topo_; }
+  const topology::DetectionResult& detection() const { return detection_; }
+  const std::vector<int>& participants() const noexcept { return participants_; }
+  const synthesizer::SynthesisReport& last_synthesis() const;
+  Seconds detection_time() const noexcept { return detection_.total_time; }
+  bool initialized() const noexcept { return initialized_; }
+
+  /// The strategy currently installed for a primitive (synthesizing it on
+  /// first use).
+  const collective::Strategy& strategy_for(collective::Primitive primitive, Bytes tensor_bytes);
+
+  /// One-off synthesis for an explicit participant subset (used by the
+  /// backend wrapper and by benches that vary the GPU configuration).
+  collective::Strategy synthesize(collective::Primitive primitive,
+                                  const std::vector<int>& participants, Bytes tensor_bytes);
+
+ private:
+  collective::CollectiveResult run_primitive(collective::Primitive primitive, Bytes tensor_bytes,
+                                             collective::CollectiveOptions options);
+
+  topology::Cluster& cluster_;
+  AdapccConfig config_;
+  util::Rng rng_;
+  topology::LogicalTopology topo_;
+  topology::DetectionResult detection_;
+  std::unique_ptr<synthesizer::Synthesizer> synthesizer_;
+  std::unique_ptr<relay::RelayCollectiveRunner> relay_runner_;
+  std::vector<int> participants_;
+  std::map<collective::Primitive, collective::Strategy> strategies_;
+  bool initialized_ = false;
+  bool set_up_ = false;
+};
+
+/// Simulated cost of establishing transmission contexts: per-context GPU
+/// buffer allocation + CUDA-IPC handle exchange (an AllGather of handles) +
+/// registration, executed once up front and reused afterwards (Sec. V-A).
+Seconds context_setup_cost(int world_size, int contexts);
+
+/// Cost model for the NCCL alternative in Fig. 19c: reconstructing a graph
+/// requires checkpointing the model, terminating, rebuilding the process
+/// group and restoring — magnitudes calibrated to the paper's description
+/// of PyTorch behaviour.
+Seconds nccl_restart_cost(int world_size, Bytes model_bytes);
+
+}  // namespace adapcc::runtime

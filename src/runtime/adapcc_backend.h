@@ -1,0 +1,55 @@
+// AdapCC exposed through the common Backend interface, so benches can sweep
+// {NCCL, MSCCL, Blink, AdapCC} uniformly (Figs. 11-14).
+#pragma once
+
+#include <map>
+
+#include "baselines/backend.h"
+#include "runtime/adapcc.h"
+
+namespace adapcc::runtime {
+
+class AdapccBackend : public baselines::Backend {
+ public:
+  explicit AdapccBackend(topology::Cluster& cluster, AdapccConfig config = {})
+      : cluster_(cluster), adapcc_(cluster, std::move(config)) {}
+
+  std::string name() const override { return "adapcc"; }
+
+  collective::CollectiveResult run(collective::Primitive primitive,
+                                   const std::vector<int>& participants, Bytes tensor_bytes,
+                                   collective::CollectiveOptions options = {}) override {
+    collective::Executor executor(cluster_, plan(primitive, participants, tensor_bytes));
+    return executor.run(tensor_bytes, std::move(options));
+  }
+
+  collective::Strategy plan(collective::Primitive primitive,
+                            const std::vector<int>& participants, Bytes tensor_bytes) override {
+    ensure_init();
+    const auto key = std::make_pair(primitive, participants);
+    const auto it = plans_.find(key);
+    if (it != plans_.end()) return it->second;
+    collective::Strategy strategy = adapcc_.synthesize(primitive, participants, tensor_bytes);
+    plans_.emplace(key, strategy);
+    return strategy;
+  }
+
+  Adapcc& adapcc() {
+    ensure_init();
+    return adapcc_;
+  }
+
+ private:
+  void ensure_init() {
+    if (!adapcc_.initialized()) {
+      adapcc_.init();
+      adapcc_.setup();
+    }
+  }
+
+  topology::Cluster& cluster_;
+  Adapcc adapcc_;
+  std::map<std::pair<collective::Primitive, std::vector<int>>, collective::Strategy> plans_;
+};
+
+}  // namespace adapcc::runtime

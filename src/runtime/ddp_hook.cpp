@@ -1,0 +1,57 @@
+#include "runtime/ddp_hook.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adapcc::runtime {
+
+DdpCommHook::DdpCommHook(topology::Cluster& cluster, collective::Strategy strategy,
+                         DdpHookConfig config)
+    : cluster_(cluster),
+      strategy_(std::move(strategy)),
+      config_(config),
+      executor_(cluster_, strategy_),
+      queue_(cluster_.simulator(), executor_) {
+  if (config_.bucket_bytes == 0) throw std::invalid_argument("DdpCommHook: zero bucket size");
+  if (strategy_.primitive != collective::Primitive::kAllReduce) {
+    throw std::invalid_argument("DdpCommHook: strategy must be an AllReduce");
+  }
+}
+
+BucketedRunResult DdpCommHook::run_iteration(Bytes tensor_bytes,
+                                             const std::map<int, Seconds>& backward_start,
+                                             const std::map<int, Seconds>& backward_end) {
+  sim::Simulator& sim = cluster_.simulator();
+  BucketedRunResult result;
+  result.started = sim.now();
+  const int buckets =
+      static_cast<int>((tensor_bytes + config_.bucket_bytes - 1) / config_.bucket_bytes);
+  result.buckets = buckets;
+
+  for (int bucket = 0; bucket < buckets; ++bucket) {
+    const Bytes offset = config_.bucket_bytes * static_cast<Bytes>(bucket);
+    const Bytes bytes = std::min<Bytes>(config_.bucket_bytes, tensor_bytes - offset);
+    CommRequest request;
+    request.primitive = collective::Primitive::kAllReduce;
+    request.tensor_bytes = bytes;
+    // Rank r's bucket becomes ready as its backward pass reaches it.
+    const double fraction = static_cast<double>(bucket + 1) / static_cast<double>(buckets);
+    for (const int rank : strategy_.participants) {
+      const auto begin_it = backward_start.find(rank);
+      const auto end_it = backward_end.find(rank);
+      const Seconds begin = begin_it == backward_start.end() ? sim.now() : begin_it->second;
+      const Seconds end = end_it == backward_end.end() ? begin : end_it->second;
+      request.options.ready_at[rank] = begin + fraction * (end - begin);
+    }
+    queue_.submit(std::move(request));
+  }
+
+  queue_.drain(sim);
+  while (auto entry = queue_.try_fetch()) {
+    result.bucket_finish.push_back(entry->result.finished);
+  }
+  result.finished = result.bucket_finish.empty() ? sim.now() : result.bucket_finish.back();
+  return result;
+}
+
+}  // namespace adapcc::runtime

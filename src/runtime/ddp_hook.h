@@ -1,0 +1,61 @@
+// PyTorch-DDP communication hook (Sec. VI-A: "we also provide a
+// communication hook for PyTorch DDP").
+//
+// DDP splits the model's gradients into buckets and fires the hook per
+// bucket as backward produces it. The hook pushes each bucket into the Work
+// Queue, where it is all-reduced in order while later buckets are still
+// being computed — communication overlaps backward. Per-rank bucket ready
+// times follow the backward pass: bucket b of rank r is ready at
+//   backward_start(r) + (b+1)/B * backward_duration(r),
+// so the straggler's early buckets flow long before it finishes.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "collective/executor.h"
+#include "runtime/work_queue.h"
+#include "topology/cluster.h"
+
+namespace adapcc::runtime {
+
+struct DdpHookConfig {
+  /// DDP default bucket cap is 25 MB.
+  Bytes bucket_bytes = megabytes(25);
+};
+
+struct BucketedRunResult {
+  Seconds started = 0.0;
+  Seconds finished = 0.0;   ///< last bucket's allreduce completed
+  int buckets = 0;
+  /// Completion time of each bucket's collective, in bucket order.
+  std::vector<Seconds> bucket_finish;
+  Seconds elapsed() const noexcept { return finished - started; }
+};
+
+class DdpCommHook {
+ public:
+  /// `strategy` is the installed AllReduce strategy; the hook owns one
+  /// executor (transmission contexts) reused by every bucket.
+  DdpCommHook(topology::Cluster& cluster, collective::Strategy strategy,
+              DdpHookConfig config = {});
+
+  /// Runs one iteration's gradient synchronization: the model of
+  /// `tensor_bytes` is split into buckets; rank r's backward runs over
+  /// [backward_start[r], backward_end[r]] and emits buckets evenly.
+  /// Advances simulated time until the last bucket completes.
+  BucketedRunResult run_iteration(Bytes tensor_bytes,
+                                  const std::map<int, Seconds>& backward_start,
+                                  const std::map<int, Seconds>& backward_end);
+
+  const DdpHookConfig& config() const noexcept { return config_; }
+
+ private:
+  topology::Cluster& cluster_;
+  collective::Strategy strategy_;
+  DdpHookConfig config_;
+  collective::Executor executor_;
+  WorkQueue queue_;
+};
+
+}  // namespace adapcc::runtime

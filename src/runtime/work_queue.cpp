@@ -1,0 +1,47 @@
+#include "runtime/work_queue.h"
+
+#include <stdexcept>
+
+namespace adapcc::runtime {
+
+int WorkQueue::submit(CommRequest request) {
+  request.id = next_id_++;
+  queue_.push_back(std::move(request));
+  if (!in_flight_) dispatch_next();
+  return next_id_ - 1;
+}
+
+void WorkQueue::dispatch_next() {
+  if (queue_.empty() || in_flight_) return;
+  if (executor_.busy()) {
+    // The previous invocation's tail traffic (relay-bound forwards) is
+    // still draining; retry shortly — back-to-back requests reuse the same
+    // transmission contexts, so ordering is preserved.
+    sim_.schedule_after(microseconds(1), [this] { dispatch_next(); });
+    return;
+  }
+  CommRequest request = std::move(queue_.front());
+  queue_.pop_front();
+  in_flight_ = true;
+  executor_.start(request.tensor_bytes, request.options,
+                  [this, id = request.id](const collective::CollectiveResult& result) {
+                    results_.push_back(CommResultEntry{id, result});
+                    in_flight_ = false;
+                    dispatch_next();
+                  });
+}
+
+std::optional<CommResultEntry> WorkQueue::try_fetch() {
+  if (results_.empty()) return std::nullopt;
+  CommResultEntry entry = std::move(results_.front());
+  results_.pop_front();
+  return entry;
+}
+
+void WorkQueue::drain(sim::Simulator& sim) {
+  while (!idle() && sim.step()) {
+  }
+  if (!idle()) throw std::logic_error("WorkQueue::drain: simulation drained early");
+}
+
+}  // namespace adapcc::runtime

@@ -1,0 +1,69 @@
+// Work / Result queues (Fig. 4, Sec. III).
+//
+// "Queues store consecutive communication requests. In each iteration,
+// tensors are pushed into the Work Queue by the ML framework and executed
+// in order. Communicated tensors are fetched from the Result Queue for
+// continued computation." This module implements those queues over the
+// simulator: requests are drained strictly in order by a persistent
+// dispatcher (the per-context polling thread of Sec. V-A), and completed
+// results become available for the framework to fetch.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "collective/executor.h"
+#include "collective/primitive.h"
+
+namespace adapcc::runtime {
+
+struct CommRequest {
+  int id = 0;
+  collective::Primitive primitive = collective::Primitive::kAllReduce;
+  Bytes tensor_bytes = 0;
+  collective::CollectiveOptions options;
+};
+
+struct CommResultEntry {
+  int id = 0;
+  collective::CollectiveResult result;
+};
+
+/// In-order dispatcher over one Executor. Requests submitted while a
+/// collective is in flight queue up and start back-to-back, preserving the
+/// framework's tensor order (the DDP bucket order).
+class WorkQueue {
+ public:
+  /// `executor` must outlive the queue.
+  WorkQueue(sim::Simulator& sim, collective::Executor& executor)
+      : sim_(sim), executor_(executor) {}
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  /// Enqueues a request; returns its id. Dispatch starts immediately if the
+  /// executor is idle.
+  int submit(CommRequest request);
+
+  /// Oldest unfetched completed result, if any.
+  std::optional<CommResultEntry> try_fetch();
+
+  std::size_t pending() const noexcept { return queue_.size() + (in_flight_ ? 1 : 0); }
+  std::size_t completed() const noexcept { return results_.size(); }
+  bool idle() const noexcept { return queue_.empty() && !in_flight_; }
+
+  /// Runs the simulator until every submitted request has completed.
+  void drain(sim::Simulator& sim);
+
+ private:
+  void dispatch_next();
+
+  sim::Simulator& sim_;
+  collective::Executor& executor_;
+  std::deque<CommRequest> queue_;
+  std::deque<CommResultEntry> results_;
+  bool in_flight_ = false;
+  int next_id_ = 1;
+};
+
+}  // namespace adapcc::runtime

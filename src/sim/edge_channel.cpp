@@ -1,0 +1,102 @@
+#include "sim/edge_channel.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace adapcc::sim {
+
+EdgeChannel::EdgeChannel(Simulator& sim, std::vector<FlowLink*> path)
+    : sim_(sim), path_(std::move(path)), link_busy_(path_.size(), false) {
+  if (path_.empty()) throw std::invalid_argument("EdgeChannel: empty path");
+  for (const auto* link : path_) {
+    if (link == nullptr) throw std::invalid_argument("EdgeChannel: null link in path");
+  }
+}
+
+Seconds EdgeChannel::path_alpha() const noexcept {
+  Seconds alpha = 0;
+  for (const auto* link : path_) alpha += link->alpha();
+  return alpha;
+}
+
+BytesPerSecond EdgeChannel::path_bandwidth() const noexcept {
+  BytesPerSecond bw = 0;
+  bool first = true;
+  for (const auto* link : path_) {
+    BytesPerSecond effective = link->capacity();
+    if (link->per_transfer_cap() > 0) effective = std::min(effective, link->per_transfer_cap());
+    bw = first ? effective : std::min(bw, effective);
+    first = false;
+  }
+  return bw;
+}
+
+void EdgeChannel::send(Bytes bytes, DeliveryCallback on_delivered) {
+  chunks_.push_back(Chunk{next_chunk_id_++, bytes, std::move(on_delivered), 0, false});
+  ++in_flight_;
+  try_start(0);
+}
+
+void EdgeChannel::try_start(std::size_t link_index) {
+  if (link_index >= path_.size() || link_busy_[link_index]) return;
+  // First (oldest) chunk waiting for this link; FIFO order is preserved
+  // because a later chunk can never be further along the path.
+  for (auto& chunk : chunks_) {
+    if (chunk.next_link == link_index && !chunk.on_link) {
+      chunk.on_link = true;
+      link_busy_[link_index] = true;
+      const std::uint64_t id = chunk.id;
+      path_[link_index]->start_transfer(
+          chunk.bytes,
+          /*on_delivered=*/[this, link_index, id] { on_link_done(link_index, id); },
+          /*on_served=*/
+          [this, link_index] {
+            // Capacity released: the next chunk can enter this link while
+            // the current one is still propagating (latency hiding).
+            link_busy_[link_index] = false;
+            try_start(link_index);
+          });
+      return;
+    }
+  }
+}
+
+void EdgeChannel::on_link_done(std::size_t link_index, std::uint64_t chunk_id) {
+  const auto it = std::find_if(chunks_.begin(), chunks_.end(),
+                               [chunk_id](const Chunk& c) { return c.id == chunk_id; });
+  if (it == chunks_.end()) throw std::logic_error("EdgeChannel: unknown chunk completed");
+  it->next_link = link_index + 1;
+  it->on_link = false;
+
+  if (it->next_link == path_.size()) {
+    // Fully delivered; must be the front chunk by the FIFO invariant.
+    DeliveryCallback callback = std::move(it->on_delivered);
+    bytes_sent_ += it->bytes;
+    chunks_.erase(it);
+    --in_flight_;
+    if (callback) callback();
+    return;
+  }
+  try_start(it->next_link);  // this chunk may enter the next link
+}
+
+void pipelined_transfer(Simulator& sim, std::vector<FlowLink*> path, Bytes total, Bytes chunk,
+                        std::function<void()> on_complete) {
+  if (chunk == 0) throw std::invalid_argument("pipelined_transfer: zero chunk size");
+  if (total == 0) {
+    if (on_complete) sim.schedule_after(0, std::move(on_complete));
+    return;
+  }
+  auto channel = std::make_shared<EdgeChannel>(sim, std::move(path));
+  const Bytes chunks = (total + chunk - 1) / chunk;
+  auto remaining = std::make_shared<Bytes>(chunks);
+  for (Bytes i = 0; i < chunks; ++i) {
+    const Bytes this_chunk = std::min<Bytes>(chunk, total - i * chunk);
+    channel->send(this_chunk, [channel, remaining, done = on_complete]() mutable {
+      if (--*remaining == 0 && done) done();
+    });
+  }
+}
+
+}  // namespace adapcc::sim

@@ -1,0 +1,84 @@
+// EdgeChannel: an ordered chunk pipeline over a path of FlowLinks.
+//
+// One logical-topology edge maps onto 1..n simulated links (e.g. a network
+// edge crosses the source NIC egress and the destination NIC ingress). A
+// channel sends chunks in FIFO order with two rules that mirror the real
+// Communicator (Sec. V-B):
+//   * per-link serialization — chunk i+1 cannot enter link j before chunk i
+//     has left it (async copies issued on one stream execute in order);
+//   * store-and-forward per chunk — chunk i enters link j+1 only once it has
+//     fully left link j (an event recorded after the copy, waited on by the
+//     receiver).
+// Together these give pipelining: chunk i+1 rides the egress link while
+// chunk i rides the ingress link, hiding the staging cost exactly like the
+// "hidden memory movements" paragraph describes.
+//
+// Bandwidth contention *between* channels is handled by the underlying
+// FlowLinks' processor sharing; a channel only serializes its own chunks.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/flow_link.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace adapcc::sim {
+
+class EdgeChannel {
+ public:
+  using DeliveryCallback = std::function<void()>;
+
+  /// `path` must be non-empty and outlive the channel.
+  EdgeChannel(Simulator& sim, std::vector<FlowLink*> path);
+  EdgeChannel(const EdgeChannel&) = delete;
+  EdgeChannel& operator=(const EdgeChannel&) = delete;
+
+  /// Enqueues one chunk; `on_delivered` fires when it exits the last link.
+  /// Chunks are delivered in the order they were sent.
+  void send(Bytes bytes, DeliveryCallback on_delivered);
+
+  std::size_t chunks_in_flight() const noexcept { return in_flight_; }
+  Bytes bytes_sent() const noexcept { return bytes_sent_; }
+
+  /// Sum of per-link alphas (the latency a lone chunk pays end to end).
+  Seconds path_alpha() const noexcept;
+  /// Bottleneck single-transfer bandwidth along the path.
+  BytesPerSecond path_bandwidth() const noexcept;
+
+ private:
+  struct Chunk {
+    std::uint64_t id;
+    Bytes bytes;
+    DeliveryCallback on_delivered;
+    /// Index of the link this chunk will occupy (or occupies) next.
+    std::size_t next_link = 0;
+    /// True while the chunk is being transferred on `next_link`.
+    bool on_link = false;
+  };
+
+  void try_start(std::size_t link_index);
+  void on_link_done(std::size_t link_index, std::uint64_t chunk_id);
+
+  Simulator& sim_;
+  std::vector<FlowLink*> path_;
+  /// Chunks not yet delivered, in send order. Front chunks are further
+  /// along the path.
+  std::deque<Chunk> chunks_;
+  /// Per link: is a chunk of this channel currently on it?
+  std::vector<bool> link_busy_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t next_chunk_id_ = 1;
+  Bytes bytes_sent_ = 0;
+};
+
+/// Convenience: sends `total` bytes as ceil(total/chunk) chunks through a
+/// fresh channel and invokes `on_complete` when the last chunk arrives.
+/// The channel is kept alive internally until completion.
+void pipelined_transfer(Simulator& sim, std::vector<FlowLink*> path, Bytes total, Bytes chunk,
+                        std::function<void()> on_complete);
+
+}  // namespace adapcc::sim

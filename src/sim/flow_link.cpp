@@ -1,0 +1,124 @@
+#include "sim/flow_link.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace adapcc::sim {
+
+namespace {
+// Transfers whose residual drops below this are considered delivered; avoids
+// zero-length completion events from floating-point progress arithmetic.
+constexpr double kResidualEpsilonBytes = 1e-6;
+// A link throttled to (or below) this capacity is treated as stalled.
+constexpr BytesPerSecond kMinRate = 1e-3;
+// Completion events are scheduled at least this far in the future. Without
+// a floor, a sub-femtosecond eta can be absorbed by floating-point addition
+// (now + eta == now), so the event fires at the same timestamp, elapsed
+// time is zero, no progress accrues, and the link respawns the event
+// forever. One nanosecond is far below any modelled latency and large
+// enough to stay representable against simulated times up to ~10^6 s.
+constexpr Seconds kMinEta = 1e-9;
+}  // namespace
+
+FlowLink::FlowLink(Simulator& sim, std::string name, Seconds alpha, BytesPerSecond capacity,
+                   BytesPerSecond per_transfer_cap)
+    : sim_(sim),
+      name_(std::move(name)),
+      alpha_(alpha),
+      capacity_(capacity),
+      per_transfer_cap_(per_transfer_cap) {
+  if (alpha < 0) throw std::invalid_argument("FlowLink: negative alpha");
+  if (capacity <= 0) throw std::invalid_argument("FlowLink: non-positive capacity");
+  if (per_transfer_cap < 0) throw std::invalid_argument("FlowLink: negative per-transfer cap");
+}
+
+double FlowLink::current_rate() const noexcept {
+  if (transfers_.empty()) return 0.0;
+  double rate = std::max(capacity_, 0.0) / static_cast<double>(transfers_.size());
+  if (per_transfer_cap_ > 0.0) rate = std::min(rate, per_transfer_cap_);
+  return rate;
+}
+
+void FlowLink::start_transfer(Bytes bytes, CompletionCallback on_delivered,
+                              CompletionCallback on_served) {
+  if (bytes == 0) {
+    if (on_served) on_served();
+    if (on_delivered) sim_.schedule_after(alpha_, std::move(on_delivered));
+    return;
+  }
+  advance_progress();
+  transfers_.push_back(
+      Transfer{static_cast<double>(bytes), bytes, std::move(on_delivered), std::move(on_served)});
+  reschedule_completion();
+}
+
+void FlowLink::set_capacity(BytesPerSecond capacity) {
+  if (capacity < 0) throw std::invalid_argument("FlowLink: negative capacity");
+  advance_progress();
+  capacity_ = capacity;
+  reschedule_completion();
+}
+
+Seconds FlowLink::busy_time() const noexcept {
+  Seconds total = busy_accum_;
+  if (!transfers_.empty()) total += sim_.now() - last_update_;
+  return total;
+}
+
+void FlowLink::advance_progress() {
+  const Seconds now = sim_.now();
+  const Seconds elapsed = now - last_update_;
+  if (elapsed > 0 && !transfers_.empty()) {
+    const double progressed = current_rate() * elapsed;
+    for (auto& transfer : transfers_) {
+      transfer.remaining_bytes = std::max(0.0, transfer.remaining_bytes - progressed);
+    }
+    busy_accum_ += elapsed;
+  }
+  last_update_ = now;
+}
+
+void FlowLink::reschedule_completion() {
+  sim_.cancel(completion_event_);
+  completion_event_ = EventId{};
+  if (transfers_.empty()) return;
+
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& transfer : transfers_) {
+    min_remaining = std::min(min_remaining, transfer.remaining_bytes);
+  }
+  const double rate = current_rate();
+  if (rate < kMinRate) return;  // stalled link; woken up by set_capacity()
+  const Seconds eta = std::max(std::max(0.0, min_remaining) / rate, kMinEta);
+  completion_event_ = sim_.schedule_after(eta, [this] { on_completion_event(); });
+}
+
+void FlowLink::on_completion_event() {
+  completion_event_ = EventId{};
+  advance_progress();
+  // Collect callbacks first: a completion callback may start a new transfer
+  // on this very link, which must not observe a half-updated state.
+  std::vector<Transfer> done;
+  for (auto it = transfers_.begin(); it != transfers_.end();) {
+    if (it->remaining_bytes <= kResidualEpsilonBytes) {
+      bytes_delivered_ += it->total_bytes;
+      done.push_back(std::move(*it));
+      it = transfers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reschedule_completion();
+  for (auto& transfer : done) {
+    if (transfer.on_served) transfer.on_served();
+    if (transfer.on_delivered) {
+      sim_.schedule_after(alpha_, std::move(transfer.on_delivered));
+    }
+  }
+}
+
+}  // namespace adapcc::sim

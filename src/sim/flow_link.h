@@ -1,0 +1,90 @@
+// Fluid-flow (processor-sharing) model of a single directed link.
+//
+// This implements the dynamic counterpart of the paper's bandwidth-sharing
+// assumption (Sec. IV-D, Eq. 3): the link's instantaneous capacity is shared
+// equally by all in-flight transfers. Each transfer additionally pays the
+// link latency alpha up front, giving the alpha + beta~ * size per-chunk cost
+// used throughout the paper. Rates are recomputed only when a transfer
+// starts or finishes or the capacity changes (event-driven, not time-stepped)
+// so long training simulations stay tractable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace adapcc::sim {
+
+class FlowLink {
+ public:
+  using CompletionCallback = std::function<void()>;
+
+  /// `alpha` is the per-transfer latency; `capacity` the full-link bandwidth.
+  /// `per_transfer_cap` bounds the rate any single transfer can reach even
+  /// when the link is otherwise idle — this models the ~20 Gbps ceiling of a
+  /// single TCP stream that Sec. VI-D reports (kernel-space overhead), which
+  /// is what makes NCCL's single inter-server channel unable to saturate a
+  /// 100 Gbps NIC while AdapCC's M parallel sub-collectives can.
+  FlowLink(Simulator& sim, std::string name, Seconds alpha, BytesPerSecond capacity,
+           BytesPerSecond per_transfer_cap = 0.0 /* 0 = uncapped */);
+  FlowLink(const FlowLink&) = delete;
+  FlowLink& operator=(const FlowLink&) = delete;
+
+  /// Begins a transfer of `bytes`. The transfer immediately competes for
+  /// capacity (service phase); when the last byte has been *serviced*,
+  /// `on_served` fires and the capacity is released — a sender can push the
+  /// next chunk. The bytes then propagate for `alpha` seconds, after which
+  /// `on_delivered` fires at the receiver. Splitting service from
+  /// propagation is what lets chunk pipelines hide the latency, as the real
+  /// Communicator hides kernel-launch and staging latency (Sec. V-B).
+  /// Zero-byte transfers deliver after just the latency.
+  void start_transfer(Bytes bytes, CompletionCallback on_delivered,
+                      CompletionCallback on_served = nullptr);
+
+  /// Changes the link capacity immediately (volatile-network experiments).
+  /// In-flight transfers keep their progress and continue at the new rate.
+  void set_capacity(BytesPerSecond capacity);
+
+  BytesPerSecond capacity() const noexcept { return capacity_; }
+  BytesPerSecond per_transfer_cap() const noexcept { return per_transfer_cap_; }
+  Seconds alpha() const noexcept { return alpha_; }
+  const std::string& name() const noexcept { return name_; }
+
+  std::size_t active_transfers() const noexcept { return transfers_.size(); }
+  Bytes bytes_delivered() const noexcept { return bytes_delivered_; }
+  /// Integral of (active ? 1 : 0) dt — total time the link was busy.
+  Seconds busy_time() const noexcept;
+
+ private:
+  struct Transfer {
+    double remaining_bytes;
+    Bytes total_bytes;
+    CompletionCallback on_delivered;
+    CompletionCallback on_served;
+  };
+
+  /// Instantaneous per-transfer rate under equal sharing and the cap.
+  double current_rate() const noexcept;
+  /// Applies progress accrued since `last_update_` to all transfers.
+  void advance_progress();
+  /// (Re)schedules the completion event for the earliest-finishing transfer.
+  void reschedule_completion();
+  void on_completion_event();
+
+  Simulator& sim_;
+  std::string name_;
+  Seconds alpha_;
+  BytesPerSecond capacity_;
+  BytesPerSecond per_transfer_cap_;
+  std::list<Transfer> transfers_;
+  Seconds last_update_ = 0.0;
+  EventId completion_event_{};
+  Bytes bytes_delivered_ = 0;
+  Seconds busy_accum_ = 0.0;
+};
+
+}  // namespace adapcc::sim

@@ -1,0 +1,43 @@
+// Simulated CUDA stream: operations enqueued on one stream execute strictly
+// in order, each occupying the stream for its duration. Cross-stream
+// dependencies (cudaStreamWaitEvent) are expressed by the caller only
+// enqueueing an op once its inputs are ready, mirroring how the Communicator
+// (Sec. V-B) records events on the sender stream and waits on the receiver.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace adapcc::sim {
+
+class GpuStream {
+ public:
+  explicit GpuStream(Simulator& sim) : sim_(sim) {}
+  GpuStream(const GpuStream&) = delete;
+  GpuStream& operator=(const GpuStream&) = delete;
+
+  /// Enqueues an operation taking `duration` seconds of stream time;
+  /// `on_complete` fires when the operation retires.
+  void enqueue(Seconds duration, std::function<void()> on_complete) {
+    const Seconds start = std::max(sim_.now(), busy_until_);
+    busy_until_ = start + duration;
+    total_busy_ += duration;
+    if (on_complete) sim_.schedule_at(busy_until_, std::move(on_complete));
+  }
+
+  /// Time at which the stream drains, given no further enqueues.
+  Seconds busy_until() const noexcept { return busy_until_; }
+  /// Total stream-occupancy time enqueued so far (for utilization stats).
+  Seconds total_busy() const noexcept { return total_busy_; }
+  bool idle() const noexcept { return busy_until_ <= sim_.now(); }
+
+ private:
+  Simulator& sim_;
+  Seconds busy_until_ = 0.0;
+  Seconds total_busy_ = 0.0;
+};
+
+}  // namespace adapcc::sim

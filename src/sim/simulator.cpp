@@ -1,0 +1,58 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace adapcc::sim {
+
+EventId Simulator::schedule_at(Seconds when, EventCallback callback) {
+  if (when < now_) throw std::invalid_argument("schedule_at: time in the past");
+  const std::uint64_t id = next_sequence_++;
+  queue_.push(Entry{when, id, std::move(callback)});
+  live_ids_.insert(id);
+  return EventId{id};
+}
+
+EventId Simulator::schedule_after(Seconds delay, EventCallback callback) {
+  if (delay < 0) throw std::invalid_argument("schedule_after: negative delay");
+  return schedule_at(now_ + delay, std::move(callback));
+}
+
+void Simulator::cancel(EventId id) noexcept {
+  if (id.valid()) live_ids_.erase(id.value);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (live_ids_.erase(entry.sequence) == 0) continue;  // was cancelled
+    now_ = entry.when;
+    ++events_processed_;
+    entry.callback();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+std::size_t Simulator::run_until(Seconds deadline) {
+  std::size_t processed = 0;
+  while (!queue_.empty()) {
+    // Drop cancelled entries without advancing time.
+    if (!live_ids_.contains(queue_.top().sequence)) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) break;
+    if (step()) ++processed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return processed;
+}
+
+}  // namespace adapcc::sim

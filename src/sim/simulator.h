@@ -1,0 +1,78 @@
+// Discrete-event simulation engine.
+//
+// The substrate for the whole reproduction: the cluster, its links, GPU
+// streams, the coordinator's timers and the training loop all advance on one
+// Simulator instance. Events are callbacks scheduled at absolute simulated
+// times; ties are broken by insertion order so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.h"
+
+namespace adapcc::sim {
+
+using EventCallback = std::function<void()>;
+
+/// Opaque handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t value = 0;
+  bool valid() const noexcept { return value != 0; }
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Seconds now() const noexcept { return now_; }
+
+  /// Schedules `callback` at absolute time `when` (must be >= now()).
+  EventId schedule_at(Seconds when, EventCallback callback);
+
+  /// Schedules `callback` `delay` seconds from now (delay must be >= 0).
+  EventId schedule_after(Seconds delay, EventCallback callback);
+
+  /// Cancels a pending event. Cancelling an already-fired or invalid id is a
+  /// no-op, which keeps completion-event bookkeeping simple for callers.
+  void cancel(EventId id) noexcept;
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  /// Runs until simulated time reaches `deadline` (events at exactly
+  /// `deadline` are executed). Returns the number of events processed.
+  std::size_t run_until(Seconds deadline);
+
+  /// Executes the single next event, if any. Returns false when idle.
+  bool step();
+
+  std::size_t pending_events() const noexcept { return live_ids_.size(); }
+  std::uint64_t events_processed() const noexcept { return events_processed_; }
+
+ private:
+  struct Entry {
+    Seconds when;
+    std::uint64_t sequence;  // doubles as the event id; FIFO tie-break
+    EventCallback callback;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  Seconds now_ = 0.0;
+  std::uint64_t next_sequence_ = 1;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  std::unordered_set<std::uint64_t> live_ids_;  // scheduled and not yet fired/cancelled
+};
+
+}  // namespace adapcc::sim

@@ -1,0 +1,340 @@
+#include "synthesizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "collective/behavior.h"
+#include "collective/primitive.h"
+#include "topology/hardware.h"
+
+namespace adapcc::synthesizer {
+
+namespace {
+
+using collective::Primitive;
+using collective::SubCollective;
+using collective::Tree;
+
+/// Messages emitted per chunk by `node` toward its parent (the N_ij^m rule
+/// for Reduce, Sec. IV-D): an aggregating node forwards one combined
+/// message; a non-aggregating node forwards everything it received plus its
+/// own contribution.
+int reduce_out_messages(const SubCollective& sub, Primitive primitive, NodeId node,
+                        const std::set<int>& active_ranks,
+                        std::unordered_map<NodeId, int>* inputs_out) {
+  int inputs = node.is_gpu() && active_ranks.contains(node.index) ? 1 : 0;
+  for (const NodeId child : sub.tree.children_of(node)) {
+    inputs += reduce_out_messages(sub, primitive, child, active_ranks, inputs_out);
+  }
+  if (inputs_out != nullptr) (*inputs_out)[node] = inputs;
+  if (inputs == 0) return 0;
+  return sub.aggregates_at(node, primitive) ? 1 : inputs;
+}
+
+void add_tree_loads(const SubCollective& sub, Primitive primitive,
+                    const std::set<int>& active_ranks, bool reduce_direction, LinkLoads& loads) {
+  if (reduce_direction) {
+    // Walk the tree once; edge (node -> parent) carries out(node) messages.
+    std::unordered_map<NodeId, int> inputs;
+    reduce_out_messages(sub, primitive, sub.tree.root, active_ranks, &inputs);
+    for (const auto& [child, parent] : sub.tree.parent) {
+      const int in = inputs.contains(child) ? inputs.at(child) : 0;
+      if (in == 0) continue;
+      const double out = sub.aggregates_at(child, primitive) ? 1.0 : static_cast<double>(in);
+      loads[EdgeKey{child, parent}] += out;
+    }
+  } else {
+    // Broadcast: replicas of the same data are grouped as one flow per edge.
+    for (const auto& [child, parent] : sub.tree.parent) {
+      loads[EdgeKey{parent, child}] += 1.0;
+    }
+  }
+}
+
+void add_flow_loads(const SubCollective& sub, LinkLoads& loads) {
+  for (const auto& flow : sub.flows) {
+    for (std::size_t i = 0; i + 1 < flow.path.size(); ++i) {
+      loads[EdgeKey{flow.path[i], flow.path[i + 1]}] += 1.0;  // AllToAll sums flows
+    }
+  }
+}
+
+const topology::LogicalEdge& profiled_edge(const LogicalTopology& topo, NodeId from, NodeId to) {
+  if (!topo.has_edge(from, to)) {
+    throw std::invalid_argument("cost model: strategy uses edge " + to_string(from) + "->" +
+                                to_string(to) + " absent from topology");
+  }
+  const auto& edge = topo.edge(from, to);
+  if (!edge.profiled || edge.beta <= 0) {
+    throw std::invalid_argument("cost model: edge " + to_string(from) + "->" + to_string(to) +
+                                " not profiled");
+  }
+  return edge;
+}
+
+/// Aggregate traffic loads per NIC port: network-edge bandwidth is shared
+/// at the instance's egress and ingress, not per logical edge, so three
+/// composite GPU-GPU edges into one server contend for one ingress port.
+/// The port's own capacity matters too: a flow's rate is the bottleneck of
+/// (egress capacity / egress load, ingress capacity / ingress load).
+struct PortState {
+  std::unordered_map<int, double> egress_load;
+  std::unordered_map<int, double> ingress_load;
+  std::unordered_map<int, double> egress_beta;   // 1 / port capacity
+  std::unordered_map<int, double> ingress_beta;
+};
+
+PortState compute_port_state(const LogicalTopology& topo, const LinkLoads& loads) {
+  PortState ports;
+  for (const auto& [key, load] : loads) {
+    if (!topo.has_edge(key.from, key.to)) continue;
+    if (topo.edge(key.from, key.to).type != topology::EdgeType::kNetwork) continue;
+    if (!topo.has_placement(key.from) || !topo.has_placement(key.to)) continue;
+    ports.egress_load[topo.instance_of(key.from)] += load;
+    ports.ingress_load[topo.instance_of(key.to)] += load;
+  }
+  // Port capacities from the profiled NIC mesh: a NIC's own speed is its
+  // best measured pairing (slower pairings are limited by the peer).
+  for (const auto& nic_from : topo.nic_nodes()) {
+    for (const auto& nic_to : topo.nic_nodes()) {
+      if (nic_from == nic_to || !topo.has_edge(nic_from, nic_to)) continue;
+      const auto& edge = topo.edge(nic_from, nic_to);
+      if (!edge.profiled || edge.beta <= 0) continue;
+      const double port = edge.effective_port_beta();
+      auto& eg = ports.egress_beta[nic_from.index];
+      eg = eg == 0.0 ? port : std::min(eg, port);
+      auto& in = ports.ingress_beta[nic_to.index];
+      in = in == 0.0 ? port : std::min(in, port);
+    }
+  }
+  return ports;
+}
+
+struct CostContext {
+  const LogicalTopology& topo;
+  const LinkLoads& loads;
+  PortState ports;
+};
+
+/// Effective beta of an edge under shared bandwidth (Eq. 3): the worst of
+/// the single-stream rate, the loaded edge rate, the shared egress port and
+/// the shared ingress port.
+double effective_beta(const CostContext& ctx, NodeId from, NodeId to) {
+  const auto& edge = profiled_edge(ctx.topo, from, to);
+  const auto it = ctx.loads.find(EdgeKey{from, to});
+  const double edge_load = it == ctx.loads.end() ? 1.0 : std::max(1.0, it->second);
+  // One flow can never exceed a single stream's rate (edge.beta); several
+  // flows share the port capacity (effective_port_beta). On RDMA the two
+  // coincide; on TCP parallel streams beat one capped stream (Sec. VI-D).
+  double beta_eff = std::max(edge.beta, edge.effective_port_beta() * edge_load);
+  if (edge.type == topology::EdgeType::kNetwork && ctx.topo.has_placement(from) &&
+      ctx.topo.has_placement(to)) {
+    const int src = ctx.topo.instance_of(from);
+    const int dst = ctx.topo.instance_of(to);
+    const auto eg_load = ctx.ports.egress_load.find(src);
+    const auto eg_beta = ctx.ports.egress_beta.find(src);
+    if (eg_load != ctx.ports.egress_load.end() && eg_beta != ctx.ports.egress_beta.end()) {
+      beta_eff = std::max(beta_eff, eg_beta->second * eg_load->second);
+    }
+    const auto in_load = ctx.ports.ingress_load.find(dst);
+    const auto in_beta = ctx.ports.ingress_beta.find(dst);
+    if (in_load != ctx.ports.ingress_load.end() && in_beta != ctx.ports.ingress_beta.end()) {
+      beta_eff = std::max(beta_eff, in_beta->second * in_load->second);
+    }
+  }
+  return beta_eff;
+}
+
+/// First-chunk time across an edge (fills the pipeline): latency plus the
+/// serialized transfer.
+Seconds edge_chunk_time(const CostContext& ctx, NodeId from, NodeId to, Bytes chunk) {
+  const auto& edge = profiled_edge(ctx.topo, from, to);
+  return edge.alpha + effective_beta(ctx, from, to) * static_cast<double>(chunk);
+}
+
+/// Steady-state pipeline period of an edge: latency is hidden by the
+/// chunked pipeline (the Communicator overlaps copies, events and network
+/// propagation, Sec. V-B), so only serialization bounds the period — with a
+/// floor of one kernel-launch/event overhead per chunk.
+Seconds edge_period(const CostContext& ctx, NodeId from, NodeId to, Bytes chunk) {
+  return std::max(effective_beta(ctx, from, to) * static_cast<double>(chunk),
+                  topology::kernel_launch_overhead());
+}
+
+struct TreeTiming {
+  Seconds h_root = 0.0;        ///< ready time of the first chunk at the root
+  Seconds max_bottleneck = 0;  ///< worst per-chunk step across flows
+};
+
+/// Eq. 2 evaluated bottom-up for a reduce-direction tree; returns the root
+/// chunk-ready time and the bottleneck step.
+TreeTiming reduce_timing(const SubCollective& sub, Primitive primitive, const CostContext& ctx,
+                         Bytes chunk, const std::set<int>& active_ranks) {
+  TreeTiming timing;
+  // Recursive lambda over the tree.
+  const std::function<Seconds(NodeId)> visit = [&](NodeId node) -> Seconds {
+    Seconds h = 0.0;  // local data ready at time zero
+    for (const NodeId child : sub.tree.children_of(node)) {
+      if (collective::active_in_subtree(sub.tree, child, active_ranks) == 0) continue;
+      const Seconds t = edge_chunk_time(ctx, child, node, chunk);
+      timing.max_bottleneck = std::max(timing.max_bottleneck, edge_period(ctx, child, node, chunk));
+      h = std::max(h, visit(child) + t);
+    }
+    return h;
+  };
+  timing.h_root = visit(sub.tree.root);
+  return timing;
+}
+
+/// Broadcast: per-flow path times from root to each leaf (no waiting).
+TreeTiming broadcast_timing(const SubCollective& sub, const CostContext& ctx, Bytes chunk) {
+  TreeTiming timing;
+  const std::function<void(NodeId, Seconds)> visit = [&](NodeId node, Seconds h) {
+    timing.h_root = std::max(timing.h_root, h);  // re-used as max leaf arrival
+    for (const NodeId child : sub.tree.children_of(node)) {
+      const Seconds t = edge_chunk_time(ctx, node, child, chunk);
+      timing.max_bottleneck = std::max(timing.max_bottleneck, edge_period(ctx, node, child, chunk));
+      visit(child, h + t);
+    }
+  };
+  visit(sub.tree.root, 0.0);
+  return timing;
+}
+
+}  // namespace
+
+LinkLoads compute_link_loads(const Strategy& strategy, const std::set<int>& active_ranks) {
+  LinkLoads loads;
+  for (const auto& sub : strategy.subs) {
+    switch (strategy.primitive) {
+      case Primitive::kReduce:
+      case Primitive::kReduceScatter:
+        add_tree_loads(sub, strategy.primitive, active_ranks, /*reduce=*/true, loads);
+        break;
+      case Primitive::kBroadcast:
+      case Primitive::kAllGather:
+        add_tree_loads(sub, strategy.primitive, active_ranks, /*reduce=*/false, loads);
+        break;
+      case Primitive::kAllReduce:
+        add_tree_loads(sub, strategy.primitive, active_ranks, /*reduce=*/true, loads);
+        add_tree_loads(sub, strategy.primitive, active_ranks, /*reduce=*/false, loads);
+        break;
+      case Primitive::kAllToAll:
+        add_flow_loads(sub, loads);
+        break;
+    }
+  }
+  return loads;
+}
+
+Seconds estimate_completion_time(const Strategy& strategy, const LogicalTopology& topo,
+                                 Bytes tensor_bytes, const std::set<int>& active_ranks) {
+  std::set<int> active = active_ranks;
+  if (active.empty()) active.insert(strategy.participants.begin(), strategy.participants.end());
+  const LinkLoads loads = compute_link_loads(strategy, active);
+  const CostContext ctx{topo, loads, compute_port_state(topo, loads)};
+
+  Seconds worst = 0.0;
+  for (const auto& sub : strategy.subs) {
+    const Bytes sub_bytes =
+        static_cast<Bytes>(std::llround(sub.fraction * static_cast<double>(tensor_bytes)));
+    if (sub_bytes == 0) continue;
+    const Bytes chunk = std::min<Bytes>(sub.chunk_bytes, sub_bytes);
+    const double chunks = std::ceil(static_cast<double>(sub_bytes) / static_cast<double>(chunk));
+
+    Seconds total = 0.0;
+    switch (strategy.primitive) {
+      case Primitive::kReduce:
+      case Primitive::kReduceScatter: {
+        const auto timing = reduce_timing(sub, strategy.primitive, ctx, chunk, active);
+        total = timing.h_root + chunks * timing.max_bottleneck;  // Eq. 5
+        break;
+      }
+      case Primitive::kBroadcast:
+      case Primitive::kAllGather: {
+        const auto timing = broadcast_timing(sub, ctx, chunk);
+        total = timing.h_root + chunks * timing.max_bottleneck;
+        break;
+      }
+      case Primitive::kAllReduce: {
+        // Reduce drives the pipeline; the last reduced chunk then rides the
+        // broadcast path once (stages are pipelined, Sec. V-B).
+        const auto reduce = reduce_timing(sub, strategy.primitive, ctx, chunk, active);
+        const auto bcast = broadcast_timing(sub, ctx, chunk);
+        const Seconds reduce_total = reduce.h_root + chunks * reduce.max_bottleneck;
+        total = reduce_total + bcast.h_root;
+        break;
+      }
+      case Primitive::kAllToAll: {
+        const int participants = static_cast<int>(strategy.participants.size());
+        const Bytes flow_bytes =
+            participants > 0
+                ? static_cast<Bytes>(std::llround(sub.fraction * static_cast<double>(tensor_bytes) /
+                                                  participants))
+                : 0;
+        const Bytes flow_chunk = std::min<Bytes>(sub.chunk_bytes, std::max<Bytes>(flow_bytes, 1));
+        const double flow_chunks =
+            std::ceil(static_cast<double>(flow_bytes) / static_cast<double>(flow_chunk));
+        for (const auto& flow : sub.flows) {
+          Seconds h = 0.0;
+          Seconds bottleneck = 0.0;
+          for (std::size_t i = 0; i + 1 < flow.path.size(); ++i) {
+            h += edge_chunk_time(ctx, flow.path[i], flow.path[i + 1], flow_chunk);
+            bottleneck = std::max(bottleneck,
+                                  edge_period(ctx, flow.path[i], flow.path[i + 1], flow_chunk));
+          }
+          total = std::max(total, h + flow_chunks * bottleneck);
+        }
+        break;
+      }
+    }
+    worst = std::max(worst, total);  // Eq. 4
+  }
+  return worst;
+}
+
+BytesPerSecond aggregate_bandwidth(const Strategy& strategy, const LogicalTopology& topo) {
+  std::set<std::pair<NodeId, NodeId>> used;
+  for (const auto& sub : strategy.subs) {
+    for (const auto& [child, parent] : sub.tree.parent) {
+      used.emplace(child, parent);
+    }
+    for (const auto& flow : sub.flows) {
+      for (std::size_t i = 0; i + 1 < flow.path.size(); ++i) {
+        used.emplace(flow.path[i], flow.path[i + 1]);
+      }
+    }
+  }
+  BytesPerSecond total = 0.0;
+  for (const auto& [from, to] : used) {
+    if (topo.has_edge(from, to)) {
+      const auto& edge = topo.edge(from, to);
+      if (edge.beta > 0) total += 1.0 / edge.beta;
+    }
+  }
+  return total;
+}
+
+double max_network_beta(const Strategy& strategy, const LogicalTopology& topo) {
+  double beta = 0.0;
+  const auto consider = [&](NodeId from, NodeId to) {
+    if (!topo.has_edge(from, to)) return;
+    const auto& edge = topo.edge(from, to);
+    // Any network-type hop counts, including the composite cross-instance
+    // GPU-GPU edges modern strategies use instead of explicit NIC nodes.
+    if (edge.type == topology::EdgeType::kNetwork) beta = std::max(beta, edge.beta);
+  };
+  for (const auto& sub : strategy.subs) {
+    for (const auto& [child, parent] : sub.tree.parent) consider(child, parent);
+    for (const auto& flow : sub.flows) {
+      for (std::size_t i = 0; i + 1 < flow.path.size(); ++i) {
+        consider(flow.path[i], flow.path[i + 1]);
+      }
+    }
+  }
+  return beta;
+}
+
+}  // namespace adapcc::synthesizer

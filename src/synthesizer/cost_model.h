@@ -1,0 +1,65 @@
+// Analytic cost model of a Strategy — the objective of the synthesizer's
+// optimization problem (Sec. IV-D, Eq. 1-6).
+//
+// Flows are derived from the strategy (one flow per contributing GPU toward
+// the root for Reduce; root-to-GPU flows for Broadcast; per-pair flows for
+// AllToAll). Per-chunk edge cost is t = alpha + beta~ * C_m where the
+// effective beta~ shares each link's profiled bandwidth among the traffic
+// loads N_ij^m of all sub-collectives (Eq. 3). Chunk ready times h_j follow
+// Eq. 2 (aggregating nodes wait for the slowest same-chunk arrival), and the
+// completion of a flow is h_dst + ceil(S_m/C_m) * T_bottle (Eq. 5-6). The
+// strategy's cost is the max flow completion time (Eq. 4).
+//
+// The model is deliberately the paper's, not the simulator's: the solver
+// optimizes against Eq. 1-6 and the benches then *measure* the result on the
+// simulator, mirroring how the real system optimizes a model and runs on
+// hardware.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+
+#include "collective/comm_graph.h"
+#include "topology/logical_topology.h"
+#include "util/units.h"
+
+namespace adapcc::synthesizer {
+
+using collective::Strategy;
+using topology::LogicalTopology;
+using topology::NodeId;
+
+struct EdgeKey {
+  NodeId from;
+  NodeId to;
+  friend bool operator==(const EdgeKey&, const EdgeKey&) = default;
+};
+
+struct EdgeKeyHash {
+  std::size_t operator()(const EdgeKey& k) const noexcept {
+    return std::hash<NodeId>()(k.from) * 1315423911u ^ std::hash<NodeId>()(k.to);
+  }
+};
+
+/// Per-link traffic loads N_ij = sum over sub-collectives of N_ij^m (Eq. 3).
+using LinkLoads = std::unordered_map<EdgeKey, double, EdgeKeyHash>;
+
+/// Computes the link loads of the whole strategy for `tensor_bytes` total.
+LinkLoads compute_link_loads(const Strategy& strategy, const std::set<int>& active_ranks);
+
+/// Estimated completion time of the collective (Eq. 4). Throws
+/// std::invalid_argument if the strategy references unprofiled edges.
+Seconds estimate_completion_time(const Strategy& strategy, const LogicalTopology& topo,
+                                 Bytes tensor_bytes, const std::set<int>& active_ranks);
+
+/// Aggregate bandwidth B of the communication graph (sum of profiled
+/// bottleneck bandwidths of the edges used), the quantity the ski-rental
+/// coordinator divides data volume by (Sec. IV-C-1).
+BytesPerSecond aggregate_bandwidth(const Strategy& strategy, const LogicalTopology& topo);
+
+/// Slowest (highest-beta) network edge used by the strategy; zero when the
+/// strategy stays inside one instance. Bounds the per-tensor cost of
+/// phase-2 late-tensor dissemination.
+double max_network_beta(const Strategy& strategy, const LogicalTopology& topo);
+
+}  // namespace adapcc::synthesizer

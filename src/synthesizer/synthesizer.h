@@ -1,0 +1,74 @@
+// Synthesizer (Sec. IV-D): produces communication strategies — routing
+// graphs for M parallel sub-collectives, chunk size, and per-node
+// aggregation control — minimizing the Eq. 4 objective over the profiled
+// logical topology.
+//
+// The optimization problem is a mixed-integer program the paper hands to
+// Gurobi. No solver is available here, so (per the substitution rules in
+// DESIGN.md) we search the same objective with a structured heuristic:
+//   1. candidate generation — hierarchical trees (intra-instance NVLink
+//      chains feeding the NIC, inter-instance stars/chains/binary trees over
+//      NICs ordered by profiled bandwidth), with rotated root instances so
+//      the M sub-collectives spread load across NICs;
+//   2. chunk-size sweep over a geometric grid, scored with the cost model;
+//   3. aggregation local search — toggling a_{m,g} at intermediate nodes and
+//      keeping improvements (the paper's "partial aggregation" control).
+// Solve time is reported for Fig. 19(c).
+#pragma once
+
+#include <chrono>
+#include <set>
+#include <vector>
+
+#include "collective/comm_graph.h"
+#include "synthesizer/cost_model.h"
+#include "topology/cluster.h"
+#include "topology/logical_topology.h"
+
+namespace adapcc::synthesizer {
+
+struct SynthesizerConfig {
+  /// Number of parallel sub-collectives M (Sec. VI-C uses M = 4).
+  int parallel_subs = 4;
+  /// Chunk sizes considered by the sweep.
+  std::vector<Bytes> chunk_candidates = {512_KiB, 1_MiB, 2_MiB, 4_MiB, 8_MiB, 16_MiB};
+  /// Run the aggregation-control local search.
+  bool optimize_aggregation = true;
+};
+
+struct SynthesisReport {
+  Seconds model_cost = 0.0;        ///< Eq. 4 objective of the chosen strategy
+  double solve_time_seconds = 0.0; ///< host wall-clock spent solving (Fig. 19c)
+  int candidates_evaluated = 0;
+};
+
+class Synthesizer {
+ public:
+  /// `cluster` provides rank->instance placement; `topo` the profiled costs.
+  Synthesizer(const topology::Cluster& cluster, const topology::LogicalTopology& topo,
+              SynthesizerConfig config = {});
+
+  /// Synthesizes a strategy for `primitive` among `participants` moving
+  /// `tensor_bytes` per GPU. `active_ranks` defaults to all participants.
+  collective::Strategy synthesize(collective::Primitive primitive,
+                                  const std::vector<int>& participants, Bytes tensor_bytes,
+                                  const std::set<int>& active_ranks = {});
+
+  const SynthesisReport& last_report() const noexcept { return report_; }
+
+ private:
+  /// Candidate trees. For rooted primitives (Reduce/Broadcast) every
+  /// candidate is rooted at `forced_root_rank`; otherwise roots rotate over
+  /// instances so parallel sub-collectives can spread NIC load.
+  std::vector<collective::Tree> candidate_trees(const std::vector<int>& participants,
+                                                int forced_root_rank) const;
+  collective::Tree hierarchical_tree(const std::vector<int>& participants, int root_instance,
+                                     int inter_mode, int forced_root_rank = -1) const;
+
+  const topology::Cluster& cluster_;
+  const topology::LogicalTopology& topo_;
+  SynthesizerConfig config_;
+  SynthesisReport report_;
+};
+
+}  // namespace adapcc::synthesizer

@@ -1,0 +1,73 @@
+// Detector (Sec. IV-A): infers the intra-instance topology by running probe
+// traffic on the simulated hardware, then assembles the logical topology.
+//
+// Probes implemented exactly as the paper describes:
+//  (1) NIC NUMA affinity — bind to each NUMA node, socket-loopback to the
+//      NIC, pick the node with the smallest latency.
+//  (2) PCIe switch co-location — for each GPU pair, both send 20 MB to the
+//      CPU simultaneously (8 parallel transmissions each); depressed
+//      bandwidth vs. a solo copy implies a shared switch uplink.
+//  (3) NIC PCIe locality — each GPU copies to the CPU while the CPU runs a
+//      socket loopback to the NIC; the GPU with the lowest copy bandwidth
+//      shares the NIC's switch.
+//  (+) NVLink adjacency — pairwise peer-to-peer probes; bandwidth far above
+//      the PCIe ceiling indicates a direct NVLink.
+//
+// Probes (2), (3) and (+) run as real transfers through the FlowLink model,
+// so contention is *measured*, not read from the spec. Probe (1) uses a
+// synthesized latency sample (see Cluster::numa_loopback_latency).
+#pragma once
+
+#include <vector>
+
+#include "topology/cluster.h"
+#include "topology/logical_topology.h"
+#include "util/rng.h"
+
+namespace adapcc::topology {
+
+struct InstanceDetection {
+  int instance = 0;
+  int nic_numa_node = 0;
+  /// Detected switch-group id per local GPU (group numbering is arbitrary).
+  std::vector<int> switch_group_of;
+  /// Group id sharing a PCIe switch with the NIC.
+  int nic_switch_group = 0;
+  /// Detected NVLink adjacency, nvlink[a][b] for local indices.
+  std::vector<std::vector<bool>> nvlink;
+  /// Simulated time this instance spent probing.
+  Seconds detection_time = 0.0;
+};
+
+struct DetectionResult {
+  std::vector<InstanceDetection> instances;
+  /// Wall time of the whole detection stage; instances probe concurrently,
+  /// so this is the max across instances (the paper reports ~1.2 s constant).
+  Seconds total_time = 0.0;
+};
+
+class Detector {
+ public:
+  Detector(Cluster& cluster, util::Rng rng) : cluster_(cluster), rng_(rng) {}
+
+  /// Runs all probes on the simulator. Advances simulated time.
+  DetectionResult detect();
+
+  /// Builds the logical topology (Fig. 5a) from detection output: NVLink
+  /// edges for detected pairs, PCIe fallback edges for unwired local pairs,
+  /// GPU<->NIC edges, and a full NIC<->NIC mesh across instances.
+  static LogicalTopology build_logical_topology(const Cluster& cluster,
+                                                const DetectionResult& detection);
+
+ private:
+  InstanceDetection detect_instance(int instance);
+
+  /// Starts `paths` concurrently (each store-and-forward over its links) and
+  /// runs the simulator until all complete; returns elapsed simulated time.
+  Seconds run_probe(const std::vector<std::pair<std::vector<sim::FlowLink*>, Bytes>>& paths);
+
+  Cluster& cluster_;
+  util::Rng rng_;
+};
+
+}  // namespace adapcc::topology

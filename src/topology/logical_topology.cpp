@@ -1,0 +1,70 @@
+#include "topology/logical_topology.h"
+
+#include <algorithm>
+
+namespace adapcc::topology {
+
+void LogicalTopology::add_node(NodeId node) {
+  if (!has_node(node)) {
+    nodes_.push_back(node);
+    index_.emplace(node, std::unordered_map<NodeId, std::size_t>{});
+  }
+}
+
+void LogicalTopology::add_edge(LogicalEdge edge) {
+  add_node(edge.from);
+  add_node(edge.to);
+  if (has_edge(edge.from, edge.to)) {
+    throw std::invalid_argument("LogicalTopology: duplicate edge " + to_string(edge.from) +
+                                "->" + to_string(edge.to));
+  }
+  index_[edge.from][edge.to] = edges_.size();
+  edges_.push_back(edge);
+}
+
+bool LogicalTopology::has_node(NodeId node) const noexcept { return index_.contains(node); }
+
+bool LogicalTopology::has_edge(NodeId from, NodeId to) const noexcept {
+  const auto it = index_.find(from);
+  return it != index_.end() && it->second.contains(to);
+}
+
+const LogicalEdge& LogicalTopology::edge(NodeId from, NodeId to) const {
+  return edges_.at(index_.at(from).at(to));
+}
+
+LogicalEdge& LogicalTopology::mutable_edge(NodeId from, NodeId to) {
+  return edges_.at(index_.at(from).at(to));
+}
+
+std::vector<const LogicalEdge*> LogicalTopology::out_edges(NodeId node) const {
+  std::vector<const LogicalEdge*> result;
+  for (const auto& edge : edges_) {
+    if (edge.from == node) result.push_back(&edge);
+  }
+  return result;
+}
+
+std::vector<const LogicalEdge*> LogicalTopology::in_edges(NodeId node) const {
+  std::vector<const LogicalEdge*> result;
+  for (const auto& edge : edges_) {
+    if (edge.to == node) result.push_back(&edge);
+  }
+  return result;
+}
+
+std::vector<NodeId> LogicalTopology::gpu_nodes() const {
+  std::vector<NodeId> result;
+  std::copy_if(nodes_.begin(), nodes_.end(), std::back_inserter(result),
+               [](const NodeId& n) { return n.is_gpu(); });
+  return result;
+}
+
+std::vector<NodeId> LogicalTopology::nic_nodes() const {
+  std::vector<NodeId> result;
+  std::copy_if(nodes_.begin(), nodes_.end(), std::back_inserter(result),
+               [](const NodeId& n) { return n.is_nic(); });
+  return result;
+}
+
+}  // namespace adapcc::topology

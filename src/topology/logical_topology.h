@@ -1,0 +1,85 @@
+// The logical topology (Fig. 5a): the graph over GPU and NIC nodes that the
+// Profiler annotates with alpha-beta costs and the Synthesizer routes flows
+// on. Constructed by the Detector from probe results, not from the cluster's
+// ground truth.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/node.h"
+#include "util/units.h"
+
+namespace adapcc::topology {
+
+struct LogicalEdge {
+  NodeId from;
+  NodeId to;
+  EdgeType type = EdgeType::kNetwork;
+  /// alpha-beta cost (Sec. IV-B): alpha in seconds, beta in seconds/byte.
+  /// Zero until the Profiler fills them in. `beta` is the cost seen by a
+  /// single stream; `port_beta` is the inverse of the full port capacity
+  /// reachable with parallel streams (for RDMA the two coincide; a TCP
+  /// stream is kernel-limited to ~20 Gbps while the NIC port is faster).
+  Seconds alpha = 0.0;
+  double beta = 0.0;
+  double port_beta = 0.0;  ///< 0 = same as beta
+  bool profiled = false;
+
+  double effective_port_beta() const noexcept { return port_beta > 0 ? port_beta : beta; }
+
+  BytesPerSecond bandwidth() const noexcept { return beta > 0 ? 1.0 / beta : 0.0; }
+  /// Transfer time of `size` bytes under the alpha-beta model.
+  Seconds transfer_time(Bytes size) const noexcept {
+    return alpha + beta * static_cast<double>(size);
+  }
+};
+
+class LogicalTopology {
+ public:
+  void add_node(NodeId node);
+  void add_edge(LogicalEdge edge);
+
+  const std::vector<NodeId>& nodes() const noexcept { return nodes_; }
+  const std::vector<LogicalEdge>& edges() const noexcept { return edges_; }
+  std::vector<LogicalEdge>& mutable_edges() noexcept { return edges_; }
+
+  bool has_node(NodeId node) const noexcept;
+  bool has_edge(NodeId from, NodeId to) const noexcept;
+
+  /// Throws std::out_of_range when the edge does not exist.
+  const LogicalEdge& edge(NodeId from, NodeId to) const;
+  LogicalEdge& mutable_edge(NodeId from, NodeId to);
+
+  /// Outgoing edges of `node`, in insertion order.
+  std::vector<const LogicalEdge*> out_edges(NodeId node) const;
+  std::vector<const LogicalEdge*> in_edges(NodeId node) const;
+
+  std::vector<NodeId> gpu_nodes() const;
+  std::vector<NodeId> nic_nodes() const;
+
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  /// GPU placement: which instance (and hence which NIC) a rank lives on.
+  /// Network-edge bandwidth is shared per NIC port, so the cost model needs
+  /// this to aggregate loads (Eq. 3) even for composite GPU-GPU edges.
+  void set_instance_of(int rank, int instance) { instance_of_[rank] = instance; }
+  /// Instance of a node: the stored placement for GPUs, the index for NICs.
+  /// Throws std::out_of_range for GPUs with no recorded placement.
+  int instance_of(NodeId node) const {
+    return node.is_nic() ? node.index : instance_of_.at(node.index);
+  }
+  bool has_placement(NodeId node) const noexcept {
+    return node.is_nic() || instance_of_.contains(node.index);
+  }
+
+ private:
+  std::vector<NodeId> nodes_;
+  std::vector<LogicalEdge> edges_;
+  std::unordered_map<NodeId, std::unordered_map<NodeId, std::size_t>> index_;
+  std::unordered_map<int, int> instance_of_;
+};
+
+}  // namespace adapcc::topology

@@ -1,0 +1,51 @@
+#include "topology/testbeds.h"
+
+namespace adapcc::topology {
+
+std::vector<InstanceSpec> paper_testbed(NetworkStack stack) {
+  std::vector<InstanceSpec> specs;
+  for (int i = 0; i < 4; ++i) specs.push_back(a100_server("a100-" + std::to_string(i), stack));
+  for (int i = 0; i < 2; ++i) specs.push_back(v100_server("v100-" + std::to_string(i), stack));
+  return specs;
+}
+
+std::vector<InstanceSpec> homo_testbed(NetworkStack stack) {
+  return a100_fleet(4, 4, stack);
+}
+
+std::vector<InstanceSpec> heter_testbed(NetworkStack stack) {
+  std::vector<InstanceSpec> specs;
+  for (int i = 0; i < 2; ++i) specs.push_back(a100_server("a100-" + std::to_string(i), stack));
+  for (int i = 0; i < 2; ++i) specs.push_back(v100_server("v100-" + std::to_string(i), stack));
+  return specs;
+}
+
+std::vector<InstanceSpec> a100_fleet(int servers, int gpus_per_server, NetworkStack stack) {
+  std::vector<InstanceSpec> specs;
+  for (int i = 0; i < servers; ++i) {
+    InstanceSpec spec = a100_server("a100-" + std::to_string(i), stack);
+    spec.gpu_count = gpus_per_server;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+InstanceSpec interleaved_a100_server(std::string name, NetworkStack stack) {
+  InstanceSpec spec = a100_server(std::move(name), stack);
+  spec.gpu_count = 8;
+  spec.nvlink_all_to_all = false;
+  spec.nvlink_pairs = {{0, 2}, {2, 4}, {4, 6}, {1, 3}, {3, 5}, {5, 7}};
+  // Four PCIe switches, two GPUs each (defaults: {0,1},{2,3},{4,5},{6,7}).
+  return spec;
+}
+
+InstanceSpec fragmented_a100_server(std::string name, NetworkStack stack) {
+  InstanceSpec spec = a100_server(std::move(name), stack);
+  spec.nvlink_all_to_all = false;
+  // Only (0,1) and (2,3) keep NVLinks; 1<->2 must fall back to PCIe, the
+  // situation where NCCL cannot form an NVLink ring (Sec. II-A).
+  spec.nvlink_pairs = {{0, 1}, {2, 3}};
+  return spec;
+}
+
+}  // namespace adapcc::topology

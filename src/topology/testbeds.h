@@ -1,0 +1,39 @@
+// Ready-made cluster configurations matching the paper's evaluation
+// (Sec. VI-B): four 4xA100 servers (100 Gbps) and two 4xV100 servers
+// (50 Gbps), combined into the homogeneous and heterogeneous settings used
+// throughout Figs. 11-19.
+#pragma once
+
+#include <vector>
+
+#include "topology/hardware.h"
+
+namespace adapcc::topology {
+
+/// The full six-server testbed: A100 x4 (100 Gbps NIC) + V100 x2 (50 Gbps).
+std::vector<InstanceSpec> paper_testbed(NetworkStack stack = NetworkStack::kRdma);
+
+/// Homogeneous setting: four A100 servers ("Homo" in Fig. 14).
+std::vector<InstanceSpec> homo_testbed(NetworkStack stack = NetworkStack::kRdma);
+
+/// Heterogeneous setting: two A100 + two V100 servers ("Heter" in Fig. 14).
+std::vector<InstanceSpec> heter_testbed(NetworkStack stack = NetworkStack::kRdma);
+
+/// `servers` A100 boxes with `gpus_per_server` GPUs each; used for scale
+/// sweeps (Fig. 19c) and the motivation experiments.
+std::vector<InstanceSpec> a100_fleet(int servers, int gpus_per_server = 4,
+                                     NetworkStack stack = NetworkStack::kRdma);
+
+/// An instance with irregular NVLink wiring (Sec. II-A: GPUs without direct
+/// NVLinks due to fragmentation): only consecutive pairs are wired.
+InstanceSpec fragmented_a100_server(std::string name,
+                                    NetworkStack stack = NetworkStack::kRdma);
+
+/// An 8-GPU instance whose NVLinks form two interleaved islands
+/// ({0,2,4,6} and {1,3,5,7}): a rank-order chain crosses PCIe on every hop,
+/// while a wiring-aware chain crosses only once — the worst case for
+/// NCCL's topology-oblivious intra-server channel.
+InstanceSpec interleaved_a100_server(std::string name,
+                                     NetworkStack stack = NetworkStack::kRdma);
+
+}  // namespace adapcc::topology

@@ -1,0 +1,41 @@
+// Training workload models (Sec. VI-D): the four DNNs the paper trains,
+// reduced to what the communication experiments consume — gradient/token
+// volume per iteration, the collective primitive used, and a per-sample
+// compute cost that drives the straggler model.
+#pragma once
+
+#include <string>
+
+#include "collective/primitive.h"
+#include "util/units.h"
+
+namespace adapcc::training {
+
+struct ModelSpec {
+  std::string name;
+  /// Gradient (or token buffer) volume communicated per iteration.
+  Bytes tensor_bytes = 0;
+  /// Collective used for synchronization: AllReduce for data-parallel DNNs,
+  /// AllToAll for MoE token dispatch.
+  collective::Primitive primitive = collective::Primitive::kAllReduce;
+  /// Compute seconds per sample on a V100 (compute_scale = 1); other GPU
+  /// kinds divide by their compute_scale.
+  double seconds_per_sample_v100 = 0.0;
+  /// Batch-independent per-iteration overhead (kernel launches, optimizer
+  /// step, data loading) — largely GPU-generation independent, which is why
+  /// the A100/V100 gap narrows at small batch sizes and the compute-time
+  /// variance "increases with a larger batch size" (Secs. II-C, VI-D).
+  double fixed_overhead_seconds = 0.0;
+  int default_local_batch = 128;
+};
+
+/// VGG16, 528 MB of gradients, ImageNet (Sec. VI-D).
+ModelSpec vgg16();
+/// GPT-2, 475 MB, personal-chat dataset, local batch 16.
+ModelSpec gpt2();
+/// ViT (Vision Transformer), 208 MB, ImageNet.
+ModelSpec vit();
+/// MoE on fastMoE with one expert per GPU; 512 MB of tokens via AllToAll.
+ModelSpec moe();
+
+}  // namespace adapcc::training

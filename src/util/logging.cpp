@@ -1,0 +1,33 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace adapcc::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_emit_mutex;
+
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+namespace detail {
+void emit(LogLevel level, std::string_view tag, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::cerr << "[" << level_name(level) << "][" << tag << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace adapcc::util

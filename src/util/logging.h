@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// The library is a simulator-backed reproduction, so logging is kept light:
+// a global level filter and printf-free iostream formatting. All output goes
+// to stderr so bench harnesses can print machine-readable rows on stdout.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace adapcc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log level. Defaults to kWarn so tests and benches stay quiet.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void emit(LogLevel level, std::string_view tag, const std::string& message);
+}
+
+/// Stream-style log statement: LOG_AT(kInfo, "profiler") << "x=" << x;
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+  ~LogStatement() {
+    if (level_ >= log_level()) detail::emit(level_, tag_, stream_.str());
+  }
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view tag_;
+  std::ostringstream stream_;
+};
+
+}  // namespace adapcc::util
+
+#define ADAPCC_LOG(level, tag) ::adapcc::util::LogStatement(::adapcc::util::LogLevel::level, tag)

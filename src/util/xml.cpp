@@ -1,0 +1,270 @@
+#include "util/xml.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace adapcc::util {
+
+namespace {
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '&') {
+      out += raw[i];
+      continue;
+    }
+    const auto rest = raw.substr(i);
+    if (rest.starts_with("&amp;")) {
+      out += '&';
+      i += 4;
+    } else if (rest.starts_with("&lt;")) {
+      out += '<';
+      i += 3;
+    } else if (rest.starts_with("&gt;")) {
+      out += '>';
+      i += 3;
+    } else if (rest.starts_with("&quot;")) {
+      out += '"';
+      i += 5;
+    } else {
+      throw std::runtime_error("xml: unknown entity");
+    }
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+void XmlElement::set_attribute(const std::string& key, std::string value) {
+  attributes_[key] = std::move(value);
+}
+void XmlElement::set_attribute(const std::string& key, double value) {
+  attributes_[key] = format_double(value);
+}
+void XmlElement::set_attribute(const std::string& key, long long value) {
+  attributes_[key] = std::to_string(value);
+}
+
+const std::string& XmlElement::attribute(const std::string& key) const {
+  return attributes_.at(key);
+}
+
+bool XmlElement::has_attribute(const std::string& key) const noexcept {
+  return attributes_.contains(key);
+}
+
+double XmlElement::attribute_as_double(const std::string& key) const {
+  return std::stod(attribute(key));
+}
+
+long long XmlElement::attribute_as_int(const std::string& key) const {
+  return std::stoll(attribute(key));
+}
+
+XmlElement& XmlElement::add_child(std::string name) {
+  children_.push_back(std::make_unique<XmlElement>(std::move(name)));
+  return *children_.back();
+}
+
+XmlElement& XmlElement::adopt_child(std::unique_ptr<XmlElement> child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+std::vector<const XmlElement*> XmlElement::children_named(std::string_view name) const {
+  std::vector<const XmlElement*> out;
+  for (const auto& child : children_) {
+    if (child->name() == name) out.push_back(child.get());
+  }
+  return out;
+}
+
+const XmlElement* XmlElement::first_child(std::string_view name) const noexcept {
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::string XmlElement::to_string() const {
+  std::string out;
+  append_to(out, 0);
+  return out;
+}
+
+void XmlElement::append_to(std::string& out, int depth) const {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  out += indent;
+  out += '<';
+  out += name_;
+  for (const auto& [key, value] : attributes_) {
+    out += ' ';
+    out += key;
+    out += "=\"";
+    out += escape(value);
+    out += '"';
+  }
+  if (children_.empty() && text_.empty()) {
+    out += "/>\n";
+    return;
+  }
+  out += '>';
+  if (!text_.empty()) out += escape(text_);
+  if (!children_.empty()) {
+    out += '\n';
+    for (const auto& child : children_) child->append_to(out, depth + 1);
+    out += indent;
+  }
+  out += "</";
+  out += name_;
+  out += ">\n";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view doc) : doc_(doc) {}
+
+  std::unique_ptr<XmlElement> parse() {
+    skip_whitespace_and_prolog();
+    auto root = parse_element();
+    skip_whitespace();
+    if (pos_ != doc_.size()) throw std::runtime_error("xml: trailing content after root");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error(std::string("xml: ") + what + " at offset " + std::to_string(pos_));
+  }
+
+  char peek() const { return pos_ < doc_.size() ? doc_[pos_] : '\0'; }
+  char next() {
+    if (pos_ >= doc_.size()) fail("unexpected end of document");
+    return doc_[pos_++];
+  }
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!consume(c)) fail("unexpected character");
+  }
+  void skip_whitespace() {
+    while (pos_ < doc_.size() && std::isspace(static_cast<unsigned char>(doc_[pos_]))) ++pos_;
+  }
+  void skip_whitespace_and_prolog() {
+    skip_whitespace();
+    if (doc_.substr(pos_).starts_with("<?")) {
+      const auto end = doc_.find("?>", pos_);
+      if (end == std::string_view::npos) fail("unterminated prolog");
+      pos_ = end + 2;
+      skip_whitespace();
+    }
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (pos_ < doc_.size()) {
+      const char c = doc_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' || c == '.' ||
+          c == ':') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected name");
+    return std::string(doc_.substr(start, pos_ - start));
+  }
+
+  std::unique_ptr<XmlElement> parse_element() {
+    expect('<');
+    auto element = std::make_unique<XmlElement>(parse_name());
+    // Attributes.
+    for (;;) {
+      skip_whitespace();
+      if (consume('/')) {
+        expect('>');
+        return element;
+      }
+      if (consume('>')) break;
+      const std::string key = parse_name();
+      skip_whitespace();
+      expect('=');
+      skip_whitespace();
+      expect('"');
+      const std::size_t start = pos_;
+      while (peek() != '"') next();
+      element->set_attribute(key, unescape(doc_.substr(start, pos_ - start)));
+      expect('"');
+    }
+    // Content: children and/or text.
+    std::string text;
+    for (;;) {
+      if (pos_ >= doc_.size()) fail("unterminated element");
+      if (peek() == '<') {
+        if (doc_.substr(pos_).starts_with("</")) {
+          pos_ += 2;
+          const std::string closing = parse_name();
+          if (closing != element->name()) fail("mismatched closing tag");
+          skip_whitespace();
+          expect('>');
+          element->set_text(unescape(trim(text)));
+          return element;
+        }
+        element->adopt_child(parse_element());
+      } else {
+        text += next();
+      }
+    }
+  }
+
+  static std::string trim(const std::string& s) {
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+    return s.substr(begin, end - begin);
+  }
+
+  std::string_view doc_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<XmlElement> parse_xml(std::string_view document) {
+  return Parser(document).parse();
+}
+
+}  // namespace adapcc::util

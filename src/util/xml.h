@@ -1,0 +1,63 @@
+// Minimal XML element tree with serialization and parsing.
+//
+// Sec. IV-D: "The strategies are output in an XML format and parsed by the
+// Communicator." This module provides exactly the subset needed for that
+// exchange: nested elements, string attributes, text content. It is not a
+// general XML implementation (no namespaces, CDATA, or doctypes).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adapcc::util {
+
+class XmlElement {
+ public:
+  explicit XmlElement(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  void set_attribute(const std::string& key, std::string value);
+  void set_attribute(const std::string& key, double value);
+  void set_attribute(const std::string& key, long long value);
+
+  /// Returns the attribute value; throws std::out_of_range if absent.
+  const std::string& attribute(const std::string& key) const;
+  bool has_attribute(const std::string& key) const noexcept;
+  double attribute_as_double(const std::string& key) const;
+  long long attribute_as_int(const std::string& key) const;
+
+  /// Appends a child element and returns a reference to it.
+  XmlElement& add_child(std::string name);
+  /// Appends an already-built element as the last child.
+  XmlElement& adopt_child(std::unique_ptr<XmlElement> child);
+  const std::vector<std::unique_ptr<XmlElement>>& children() const noexcept { return children_; }
+
+  /// All children with the given element name, in document order.
+  std::vector<const XmlElement*> children_named(std::string_view name) const;
+  /// First child with the given name, or nullptr.
+  const XmlElement* first_child(std::string_view name) const noexcept;
+
+  void set_text(std::string text) { text_ = std::move(text); }
+  const std::string& text() const noexcept { return text_; }
+
+  /// Serializes the subtree with 2-space indentation.
+  std::string to_string() const;
+
+ private:
+  void append_to(std::string& out, int depth) const;
+
+  std::string name_;
+  std::map<std::string, std::string> attributes_;
+  std::vector<std::unique_ptr<XmlElement>> children_;
+  std::string text_;
+};
+
+/// Parses a document produced by XmlElement::to_string (or any XML in the
+/// supported subset). Throws std::runtime_error on malformed input.
+std::unique_ptr<XmlElement> parse_xml(std::string_view document);
+
+}  // namespace adapcc::util

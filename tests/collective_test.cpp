@@ -1,0 +1,535 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "collective/behavior.h"
+#include "collective/builders.h"
+#include "collective/codegen.h"
+#include "collective/comm_graph.h"
+#include "collective/executor.h"
+#include "collective/payload.h"
+#include "sim/simulator.h"
+#include "topology/cluster.h"
+#include "topology/testbeds.h"
+
+namespace adapcc {
+namespace {
+
+using collective::BehaviorTuple;
+using collective::chain_tree;
+using collective::CollectiveOptions;
+using collective::CollectiveResult;
+using collective::ContributorMask;
+using collective::derive_behavior;
+using collective::Executor;
+using collective::FlowRoute;
+using collective::kary_tree;
+using collective::payload_value;
+using collective::Primitive;
+using collective::rank_bit;
+using collective::single_tree_strategy;
+using collective::star_tree;
+using collective::Strategy;
+using collective::SubCollective;
+using collective::Tree;
+using topology::NodeId;
+
+ContributorMask mask_of(std::initializer_list<int> ranks) {
+  ContributorMask mask = 0;
+  for (const int r : ranks) mask |= rank_bit(r);
+  return mask;
+}
+
+double expected_sum(std::initializer_list<int> ranks, int sub, int chunk) {
+  double sum = 0;
+  for (const int r : ranks) sum += payload_value(r, sub, chunk);
+  return sum;
+}
+
+// --- Tree / builders --------------------------------------------------------
+
+TEST(TreeTest, ChainShape) {
+  const Tree tree = chain_tree({NodeId::gpu(0), NodeId::gpu(1), NodeId::gpu(2)});
+  EXPECT_EQ(tree.root, NodeId::gpu(2));
+  EXPECT_EQ(tree.parent.at(NodeId::gpu(0)), NodeId::gpu(1));
+  EXPECT_EQ(tree.depth_of(NodeId::gpu(0)), 2);
+  EXPECT_EQ(tree.children_of(NodeId::gpu(2)), (std::vector<NodeId>{NodeId::gpu(1)}));
+}
+
+TEST(TreeTest, KaryShape) {
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 7; ++i) nodes.push_back(NodeId::gpu(i));
+  const Tree tree = kary_tree(nodes, 2);
+  EXPECT_EQ(tree.root, NodeId::gpu(0));
+  EXPECT_EQ(tree.children_of(NodeId::gpu(0)).size(), 2u);
+  EXPECT_EQ(tree.children_of(NodeId::gpu(1)).size(), 2u);
+  EXPECT_EQ(tree.parent.at(NodeId::gpu(6)), NodeId::gpu(2));
+}
+
+TEST(TreeTest, DepthDetectsCycles) {
+  Tree tree;
+  tree.root = NodeId::gpu(0);
+  tree.parent[NodeId::gpu(1)] = NodeId::gpu(2);
+  tree.parent[NodeId::gpu(2)] = NodeId::gpu(1);
+  EXPECT_THROW(tree.depth_of(NodeId::gpu(1)), std::invalid_argument);
+}
+
+// --- Behavior tuples (Sec. IV-C-3, Fig. 7) -----------------------------------
+
+class BehaviorTest : public ::testing::Test {
+ protected:
+  // The 4-GPU reduce graph of Fig. 7: GPU3 -> GPU1, GPU2 -> GPU1, GPU1 -> GPU0.
+  SubCollective make_sub() {
+    SubCollective sub;
+    sub.tree.root = NodeId::gpu(0);
+    sub.tree.parent[NodeId::gpu(1)] = NodeId::gpu(0);
+    sub.tree.parent[NodeId::gpu(2)] = NodeId::gpu(1);
+    sub.tree.parent[NodeId::gpu(3)] = NodeId::gpu(1);
+    return sub;
+  }
+};
+
+TEST_F(BehaviorTest, AllActiveEveryoneAggregates) {
+  const auto sub = make_sub();
+  const std::set<int> active{0, 1, 2, 3};
+  const auto b0 = derive_behavior(sub, Primitive::kReduce, NodeId::gpu(0), active);
+  EXPECT_EQ(b0, (BehaviorTuple{true, true, true, false}));  // root never sends
+  const auto b1 = derive_behavior(sub, Primitive::kReduce, NodeId::gpu(1), active);
+  EXPECT_EQ(b1, (BehaviorTuple{true, true, true, true}));
+  const auto b3 = derive_behavior(sub, Primitive::kReduce, NodeId::gpu(3), active);
+  EXPECT_EQ(b3, (BehaviorTuple{true, false, false, true}));  // leaf: nothing to recv
+}
+
+TEST_F(BehaviorTest, RelayWithTwoActivePrecedentsKeepsKernel) {
+  // Fig. 7(b): GPU1 relays for GPU2 and GPU3 -> <0,1,1,1>.
+  const auto sub = make_sub();
+  const std::set<int> active{0, 2, 3};
+  const auto b1 = derive_behavior(sub, Primitive::kReduce, NodeId::gpu(1), active);
+  EXPECT_EQ(b1, (BehaviorTuple{false, true, true, true}));
+}
+
+TEST_F(BehaviorTest, RelayWithOneActivePrecedentSkipsKernel) {
+  // Paper: "if GPU2 is not ready, GPU1 ... can directly relay traffic from
+  // GPU3 to GPU0" — one active precedent, no aggregation kernel.
+  const auto sub = make_sub();
+  const std::set<int> active{0, 3};
+  const auto b1 = derive_behavior(sub, Primitive::kReduce, NodeId::gpu(1), active);
+  EXPECT_EQ(b1, (BehaviorTuple{false, true, false, true}));
+}
+
+TEST_F(BehaviorTest, InactiveLeafNeitherSendsNorReceives) {
+  const auto sub = make_sub();
+  const std::set<int> active{0, 1, 3};
+  const auto b2 = derive_behavior(sub, Primitive::kReduce, NodeId::gpu(2), active);
+  EXPECT_EQ(b2, (BehaviorTuple{false, false, false, false}));
+}
+
+TEST_F(BehaviorTest, SynthesizerCanDisableAggregation) {
+  auto sub = make_sub();
+  sub.aggregate_at[NodeId::gpu(1)] = false;
+  const std::set<int> active{0, 1, 2, 3};
+  const auto b1 = derive_behavior(sub, Primitive::kReduce, NodeId::gpu(1), active);
+  EXPECT_FALSE(b1.has_kernel);
+  EXPECT_TRUE(b1.has_send);
+}
+
+TEST_F(BehaviorTest, BroadcastNeverLaunchesKernels) {
+  const auto sub = make_sub();
+  const std::set<int> active{0, 1, 2, 3};
+  EXPECT_FALSE(derive_behavior(sub, Primitive::kBroadcast, NodeId::gpu(1), active).has_kernel);
+  EXPECT_FALSE(derive_behavior(sub, Primitive::kAllToAll, NodeId::gpu(1), active).has_kernel);
+}
+
+TEST_F(BehaviorTest, NicNodesAreNeverActive) {
+  SubCollective sub;
+  sub.tree.root = NodeId::gpu(0);
+  sub.tree.parent[NodeId::nic(0)] = NodeId::gpu(0);
+  sub.tree.parent[NodeId::gpu(1)] = NodeId::nic(0);
+  const std::set<int> active{0, 1};
+  const auto tuple = derive_behavior(sub, Primitive::kReduce, NodeId::nic(0), active);
+  EXPECT_FALSE(tuple.is_active);
+  EXPECT_TRUE(tuple.has_recv);
+  EXPECT_FALSE(tuple.has_kernel);  // single active precedent through the NIC
+  EXPECT_TRUE(tuple.has_send);
+}
+
+// --- Strategy XML -------------------------------------------------------------
+
+TEST(StrategyXml, RoundTripsTreeStrategy) {
+  Strategy strategy = single_tree_strategy(
+      Primitive::kAllReduce, {0, 1, 2},
+      chain_tree({NodeId::gpu(0), NodeId::gpu(1), NodeId::gpu(2)}), 2_MiB);
+  strategy.subs[0].aggregate_at[NodeId::gpu(1)] = false;
+  const std::string xml = strategy.to_xml();
+  const Strategy parsed = Strategy::from_xml(xml);
+  EXPECT_EQ(parsed.primitive, Primitive::kAllReduce);
+  EXPECT_EQ(parsed.participants, (std::vector<int>{0, 1, 2}));
+  ASSERT_EQ(parsed.subs.size(), 1u);
+  EXPECT_EQ(parsed.subs[0].chunk_bytes, 2_MiB);
+  EXPECT_EQ(parsed.subs[0].tree.root, NodeId::gpu(2));
+  EXPECT_EQ(parsed.subs[0].tree.parent.at(NodeId::gpu(0)), NodeId::gpu(1));
+  EXPECT_FALSE(parsed.subs[0].aggregate_at.at(NodeId::gpu(1)));
+  EXPECT_EQ(parsed.fingerprint(), strategy.fingerprint());
+}
+
+TEST(StrategyXml, RoundTripsFlowStrategy) {
+  Strategy strategy;
+  strategy.primitive = Primitive::kAllToAll;
+  strategy.participants = {0, 4};
+  SubCollective sub;
+  sub.fraction = 1.0;
+  sub.chunk_bytes = 1_MiB;
+  FlowRoute route;
+  route.src = NodeId::gpu(0);
+  route.dst = NodeId::gpu(4);
+  route.path = {NodeId::gpu(0), NodeId::nic(0), NodeId::nic(1), NodeId::gpu(4)};
+  sub.flows.push_back(route);
+  strategy.subs.push_back(sub);
+  const Strategy parsed = Strategy::from_xml(strategy.to_xml());
+  ASSERT_EQ(parsed.subs[0].flows.size(), 1u);
+  EXPECT_EQ(parsed.subs[0].flows[0].path.size(), 4u);
+  EXPECT_EQ(parsed.subs[0].flows[0].path[1], NodeId::nic(0));
+}
+
+TEST(StrategyXml, FingerprintDetectsGraphChange) {
+  const Strategy a = single_tree_strategy(
+      Primitive::kReduce, {0, 1}, chain_tree({NodeId::gpu(0), NodeId::gpu(1)}), 1_MiB);
+  const Strategy b = single_tree_strategy(
+      Primitive::kReduce, {0, 1}, chain_tree({NodeId::gpu(1), NodeId::gpu(0)}), 1_MiB);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+// --- Executor: correctness ----------------------------------------------------
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void build(std::vector<topology::InstanceSpec> specs) {
+    sim_ = std::make_unique<sim::Simulator>();
+    cluster_ = std::make_unique<topology::Cluster>(*sim_, std::move(specs));
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<topology::Cluster> cluster_;
+};
+
+TEST_F(ExecutorTest, IntraServerReduceSumsAllRanks) {
+  build({topology::a100_server("s0")});
+  // Chain 3 -> 2 -> 1 -> 0 over NVLinks.
+  Strategy strategy = single_tree_strategy(
+      Primitive::kReduce, {0, 1, 2, 3},
+      chain_tree({NodeId::gpu(3), NodeId::gpu(2), NodeId::gpu(1), NodeId::gpu(0)}), 4_MiB);
+  Executor executor(*cluster_, strategy);
+  const auto result = executor.run(megabytes(64));
+  ASSERT_EQ(result.subs.size(), 1u);
+  const auto& sub = result.subs[0];
+  ASSERT_EQ(sub.root_values.size(), 16u);  // 64 MB / 4 MiB
+  for (std::size_t c = 0; c < sub.root_values.size(); ++c) {
+    EXPECT_DOUBLE_EQ(sub.root_values[c], expected_sum({0, 1, 2, 3}, 0, static_cast<int>(c)));
+    EXPECT_EQ(sub.root_masks[c], mask_of({0, 1, 2, 3}));
+  }
+  EXPECT_GT(result.elapsed(), 0.0);
+}
+
+TEST_F(ExecutorTest, CrossServerReduceTraversesNics) {
+  build(topology::heter_testbed());
+  // GPUs 0 (instance 0) and 4 (instance 1): 4 -> nic1 -> nic0 -> 0.
+  Tree tree;
+  tree.root = NodeId::gpu(0);
+  tree.parent[NodeId::nic(0)] = NodeId::gpu(0);
+  tree.parent[NodeId::nic(1)] = NodeId::nic(0);
+  tree.parent[NodeId::gpu(4)] = NodeId::nic(1);
+  Strategy strategy = single_tree_strategy(Primitive::kReduce, {0, 4}, tree, 4_MiB);
+  Executor executor(*cluster_, strategy);
+  const auto result = executor.run(megabytes(32));
+  const auto& sub = result.subs[0];
+  ASSERT_EQ(sub.root_values.size(), 8u);
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_DOUBLE_EQ(sub.root_values[c], expected_sum({0, 4}, 0, static_cast<int>(c)));
+  }
+  // Time must at least cover 32 MB over the 100 Gbps NIC (both instances
+  // here are A100 servers; V100 servers are instances 2 and 3).
+  EXPECT_GT(result.elapsed(), static_cast<double>(megabytes(32)) / gbps(100));
+}
+
+TEST_F(ExecutorTest, AllReduceDeliversSumEverywhere) {
+  build({topology::a100_server("s0")});
+  Strategy strategy = single_tree_strategy(
+      Primitive::kAllReduce, {0, 1, 2, 3},
+      star_tree(NodeId::gpu(0), {NodeId::gpu(1), NodeId::gpu(2), NodeId::gpu(3)}), 4_MiB);
+  Executor executor(*cluster_, strategy);
+  const auto result = executor.run(megabytes(16));
+  for (const int rank : {0, 1, 2, 3}) {
+    ASSERT_TRUE(result.delivered.contains(rank));
+    const auto& chunks = result.delivered.at(rank)[0];
+    ASSERT_EQ(chunks.size(), 4u);
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      EXPECT_DOUBLE_EQ(chunks[c], expected_sum({0, 1, 2, 3}, 0, static_cast<int>(c)))
+          << "rank " << rank << " chunk " << c;
+      EXPECT_EQ(result.delivered_masks.at(rank)[0][c], mask_of({0, 1, 2, 3}));
+    }
+    EXPECT_TRUE(result.rank_finish_time.contains(rank));
+  }
+}
+
+TEST_F(ExecutorTest, MultiSubAllReduceSplitsTensor) {
+  build({topology::a100_server("s0")});
+  const std::vector<NodeId> gpus{NodeId::gpu(0), NodeId::gpu(1), NodeId::gpu(2), NodeId::gpu(3)};
+  // Two sub-collectives with rotated chain roots.
+  std::vector<Tree> trees{
+      chain_tree({NodeId::gpu(1), NodeId::gpu(2), NodeId::gpu(3), NodeId::gpu(0)}),
+      chain_tree({NodeId::gpu(3), NodeId::gpu(0), NodeId::gpu(1), NodeId::gpu(2)})};
+  Strategy strategy = collective::multi_tree_strategy(Primitive::kAllReduce, {0, 1, 2, 3},
+                                                      std::move(trees), 4_MiB);
+  Executor executor(*cluster_, strategy);
+  const auto result = executor.run(megabytes(32));
+  for (const int rank : {0, 1, 2, 3}) {
+    const auto& per_sub = result.delivered.at(rank);
+    ASSERT_EQ(per_sub.size(), 2u);
+    for (int s = 0; s < 2; ++s) {
+      ASSERT_EQ(per_sub[static_cast<std::size_t>(s)].size(), 4u);  // 16 MB per sub / 4 MiB
+      for (std::size_t c = 0; c < 4; ++c) {
+        EXPECT_DOUBLE_EQ(per_sub[static_cast<std::size_t>(s)][c],
+                         expected_sum({0, 1, 2, 3}, s, static_cast<int>(c)));
+      }
+    }
+  }
+}
+
+TEST_F(ExecutorTest, BroadcastReachesAllLeaves) {
+  build({topology::a100_server("s0")});
+  Strategy strategy = single_tree_strategy(
+      Primitive::kBroadcast, {0, 1, 2, 3},
+      kary_tree({NodeId::gpu(0), NodeId::gpu(1), NodeId::gpu(2), NodeId::gpu(3)}, 2), 4_MiB);
+  Executor executor(*cluster_, strategy);
+  const auto result = executor.run(megabytes(16));
+  for (const int rank : {0, 1, 2, 3}) {
+    const auto& chunks = result.delivered.at(rank)[0];
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      EXPECT_DOUBLE_EQ(chunks[c], payload_value(0, 0, static_cast<int>(c)));
+    }
+  }
+}
+
+TEST_F(ExecutorTest, RelayRankForwardsWithoutContributing) {
+  build({topology::a100_server("s0")});
+  // Chain 3 -> 2 -> 1 -> 0 where rank 2 is a relay (not active).
+  Strategy strategy = single_tree_strategy(
+      Primitive::kReduce, {0, 1, 2, 3},
+      chain_tree({NodeId::gpu(3), NodeId::gpu(2), NodeId::gpu(1), NodeId::gpu(0)}), 4_MiB);
+  Executor executor(*cluster_, strategy);
+  CollectiveOptions options;
+  options.active_ranks = {0, 1, 3};
+  const auto result = executor.run(megabytes(16), options);
+  const auto& sub = result.subs[0];
+  for (std::size_t c = 0; c < sub.root_values.size(); ++c) {
+    EXPECT_DOUBLE_EQ(sub.root_values[c], expected_sum({0, 1, 3}, 0, static_cast<int>(c)));
+    EXPECT_EQ(sub.root_masks[c], mask_of({0, 1, 3}));
+  }
+}
+
+TEST_F(ExecutorTest, StragglerReadyTimeDelaysCompletion) {
+  build({topology::a100_server("s0")});
+  Strategy strategy = single_tree_strategy(
+      Primitive::kReduce, {0, 1, 2, 3},
+      star_tree(NodeId::gpu(0), {NodeId::gpu(1), NodeId::gpu(2), NodeId::gpu(3)}), 4_MiB);
+  Executor fast(*cluster_, strategy);
+  const auto baseline = fast.run(megabytes(16));
+
+  CollectiveOptions options;
+  options.ready_at[3] = sim_->now() + 0.5;  // rank 3 straggles by 500 ms
+  Executor slow(*cluster_, strategy);
+  const auto delayed = slow.run(megabytes(16), options);
+  EXPECT_GT(delayed.elapsed(), 0.5);
+  EXPECT_LT(baseline.elapsed(), 0.1);
+  // Same correct result regardless.
+  EXPECT_DOUBLE_EQ(delayed.subs[0].root_values[0], baseline.subs[0].root_values[0]);
+}
+
+TEST_F(ExecutorTest, AllToAllDeliversDistinctPayloads) {
+  build(topology::heter_testbed());
+  Strategy strategy;
+  strategy.primitive = Primitive::kAllToAll;
+  strategy.participants = {0, 1, 4, 5};
+  std::vector<int> instance_of(static_cast<std::size_t>(cluster_->world_size()));
+  for (int r = 0; r < cluster_->world_size(); ++r) {
+    instance_of[static_cast<std::size_t>(r)] = cluster_->instance_of_rank(r);
+  }
+  SubCollective sub;
+  sub.fraction = 1.0;
+  sub.chunk_bytes = 1_MiB;
+  sub.flows = collective::direct_alltoall_routes(strategy.participants, instance_of);
+  strategy.subs.push_back(std::move(sub));
+  Executor executor(*cluster_, strategy);
+  const auto result = executor.run(megabytes(16));
+  for (const int dst : strategy.participants) {
+    for (const int src : strategy.participants) {
+      if (src == dst) continue;
+      ASSERT_TRUE(result.alltoall_received.contains(dst));
+      ASSERT_TRUE(result.alltoall_received.at(dst).contains(src))
+          << "dst " << dst << " src " << src;
+      const auto& chunks = result.alltoall_received.at(dst).at(src);
+      ASSERT_EQ(chunks.size(), 4u);  // 16 MB / 4 participants / 1 MiB
+      for (std::size_t c = 0; c < chunks.size(); ++c) {
+        EXPECT_DOUBLE_EQ(chunks[c], collective::alltoall_value(src, dst, 0, static_cast<int>(c)));
+      }
+    }
+  }
+}
+
+// --- Executor: timing ----------------------------------------------------------
+
+TEST_F(ExecutorTest, ChunkingPipelinesInterServerTransfer) {
+  build(topology::homo_testbed());
+  // Reduce gpu4 -> nic1 -> nic0 -> gpu0, 128 MB over a 100 Gbps link.
+  Tree tree;
+  tree.root = NodeId::gpu(0);
+  tree.parent[NodeId::nic(0)] = NodeId::gpu(0);
+  tree.parent[NodeId::nic(1)] = NodeId::nic(0);
+  tree.parent[NodeId::gpu(4)] = NodeId::nic(1);
+
+  const auto run_with_chunk = [&](Bytes chunk) {
+    Strategy strategy = single_tree_strategy(Primitive::kReduce, {0, 4}, tree, chunk);
+    Executor executor(*cluster_, strategy);
+    return executor.run(megabytes(128)).elapsed();
+  };
+  const Seconds coarse = run_with_chunk(megabytes(128));  // one big chunk
+  const Seconds fine = run_with_chunk(4_MiB);
+  // Pipelining across egress/ingress/PCIe must beat the store-and-forward
+  // whole-tensor transfer clearly.
+  EXPECT_LT(fine, 0.75 * coarse);
+  // And it should approach the 100 Gbps serialization bound (~10.2 ms).
+  const Seconds bound = static_cast<double>(megabytes(128)) / gbps(100);
+  EXPECT_LT(fine, 1.4 * bound);
+  EXPECT_GT(fine, bound);
+}
+
+TEST_F(ExecutorTest, ParallelSubCollectivesBeatSingleChannelOnTcp) {
+  build(topology::homo_testbed(topology::NetworkStack::kTcp));
+  // One TCP stream is capped at 20 Gbps; four parallel sub-collectives can
+  // use 80 Gbps (Sec. VI-D's motivation for M parallel transmissions).
+  Tree tree;
+  tree.root = NodeId::gpu(0);
+  tree.parent[NodeId::nic(0)] = NodeId::gpu(0);
+  tree.parent[NodeId::nic(1)] = NodeId::nic(0);
+  tree.parent[NodeId::gpu(4)] = NodeId::nic(1);
+
+  Strategy single = single_tree_strategy(Primitive::kReduce, {0, 4}, tree, 4_MiB);
+  Executor single_exec(*cluster_, single);
+  const Seconds single_time = single_exec.run(megabytes(128)).elapsed();
+
+  Strategy multi = collective::multi_tree_strategy(Primitive::kReduce, {0, 4},
+                                                   {tree, tree, tree, tree}, 4_MiB);
+  Executor multi_exec(*cluster_, multi);
+  const Seconds multi_time = multi_exec.run(megabytes(128)).elapsed();
+  EXPECT_LT(multi_time, 0.35 * single_time);
+}
+
+TEST_F(ExecutorTest, ZeroByteCollectiveCompletesImmediately) {
+  build({topology::a100_server("s0")});
+  Strategy strategy = single_tree_strategy(
+      Primitive::kReduce, {0, 1},
+      chain_tree({NodeId::gpu(1), NodeId::gpu(0)}), 4_MiB);
+  Executor executor(*cluster_, strategy);
+  const auto result = executor.run(0);
+  EXPECT_DOUBLE_EQ(result.elapsed(), 0.0);
+}
+
+TEST_F(ExecutorTest, ExecutorIsReusableAcrossInvocations) {
+  build({topology::a100_server("s0")});
+  Strategy strategy = single_tree_strategy(
+      Primitive::kAllReduce, {0, 1, 2, 3},
+      star_tree(NodeId::gpu(0), {NodeId::gpu(1), NodeId::gpu(2), NodeId::gpu(3)}), 4_MiB);
+  Executor executor(*cluster_, strategy);
+  const auto first = executor.run(megabytes(16));
+  const auto second = executor.run(megabytes(16));
+  EXPECT_NEAR(first.elapsed(), second.elapsed(), 1e-9);
+  EXPECT_FALSE(executor.busy());
+}
+
+TEST_F(ExecutorTest, RejectsConcurrentInvocations) {
+  build({topology::a100_server("s0")});
+  Strategy strategy = single_tree_strategy(
+      Primitive::kReduce, {0, 1}, chain_tree({NodeId::gpu(1), NodeId::gpu(0)}), 4_MiB);
+  Executor executor(*cluster_, strategy);
+  executor.start(megabytes(16), {}, nullptr);
+  EXPECT_THROW(executor.start(megabytes(16), {}, nullptr), std::logic_error);
+  sim_->run();
+}
+
+// --- Schedule generation (Sec. IV-C-3 / V) -----------------------------------
+
+TEST(CodegenTest, EmitsActionsMatchingBehaviorTuples) {
+  // Fig. 7's graph with GPU1 as a relay for GPU2 and GPU3.
+  Strategy strategy;
+  strategy.primitive = Primitive::kReduce;
+  strategy.participants = {0, 1, 2, 3};
+  SubCollective sub;
+  sub.fraction = 1.0;
+  sub.chunk_bytes = 1_MiB;
+  sub.tree.root = NodeId::gpu(0);
+  sub.tree.parent[NodeId::gpu(1)] = NodeId::gpu(0);
+  sub.tree.parent[NodeId::gpu(2)] = NodeId::gpu(1);
+  sub.tree.parent[NodeId::gpu(3)] = NodeId::gpu(1);
+  strategy.subs.push_back(sub);
+
+  const std::set<int> active{0, 2, 3};
+  const std::string relay = collective::generate_rank_program(strategy, 1, active);
+  // <0,1,1,1>: waits for both precedents, launches the kernel, sends on.
+  EXPECT_NE(relay.find("behavior <0,1,1,1>"), std::string::npos);
+  EXPECT_NE(relay.find("cudaStreamWaitEvent(recv_buffer[gpu2]"), std::string::npos);
+  EXPECT_NE(relay.find("cudaStreamWaitEvent(recv_buffer[gpu3]"), std::string::npos);
+  EXPECT_NE(relay.find("reduce_kernel"), std::string::npos);
+  EXPECT_NE(relay.find("cudaMemcpyPeerAsync(-> gpu0"), std::string::npos);
+
+  // When only GPU3 is active upstream, GPU1 relays without a kernel.
+  const std::set<int> one_precedent{0, 3};
+  const std::string passthrough = collective::generate_rank_program(strategy, 1, one_precedent);
+  EXPECT_NE(passthrough.find("behavior <0,1,0,1>"), std::string::npos);
+  EXPECT_EQ(passthrough.find("reduce_kernel"), std::string::npos);
+  EXPECT_NE(passthrough.find("relay: forward received chunks"), std::string::npos);
+
+  // The root never sends; it completes chunks.
+  const std::string root = collective::generate_rank_program(strategy, 0, active);
+  EXPECT_EQ(root.find("cudaMemcpyPeerAsync(->"), std::string::npos);
+  EXPECT_NE(root.find("push to result queue"), std::string::npos);
+}
+
+TEST(CodegenTest, AllToAllProgramsListFlowsAndConcurrency) {
+  Strategy strategy;
+  strategy.primitive = Primitive::kAllToAll;
+  strategy.participants = {0, 1, 2};
+  SubCollective sub;
+  sub.fraction = 1.0;
+  sub.chunk_bytes = 1_MiB;
+  sub.alltoall_concurrency = 2;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      collective::FlowRoute route;
+      route.src = NodeId::gpu(a);
+      route.dst = NodeId::gpu(b);
+      route.path = {route.src, route.dst};
+      sub.flows.push_back(route);
+    }
+  }
+  strategy.subs.push_back(sub);
+  const std::string program = collective::generate_rank_program(strategy, 0, {0, 1, 2});
+  EXPECT_NE(program.find("concurrency 2"), std::string::npos);
+  EXPECT_NE(program.find("send shard -> gpu1"), std::string::npos);
+  EXPECT_NE(program.find("send shard -> gpu2"), std::string::npos);
+}
+
+TEST(CodegenTest, IdleRankProducesEmptyProgram) {
+  Strategy strategy = single_tree_strategy(
+      Primitive::kReduce, {0, 1}, chain_tree({NodeId::gpu(1), NodeId::gpu(0)}), 1_MiB);
+  EXPECT_TRUE(collective::generate_rank_program(strategy, 7, {0, 1}).empty());
+  // The full dump covers exactly the participants.
+  const std::string all = collective::generate_all_programs(strategy, {0, 1});
+  EXPECT_NE(all.find("rank 0 program"), std::string::npos);
+  EXPECT_NE(all.find("rank 1 program"), std::string::npos);
+  EXPECT_EQ(all.find("rank 7 program"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adapcc

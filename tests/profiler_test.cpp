@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "profiler/alpha_beta.h"
+#include "profiler/profiler.h"
+#include "profiler/trace.h"
+#include "sim/simulator.h"
+#include "topology/cluster.h"
+#include "topology/detector.h"
+#include "topology/testbeds.h"
+#include "util/rng.h"
+
+namespace adapcc {
+namespace {
+
+using profiler::AlphaBetaEstimator;
+using profiler::BandwidthTrace;
+using profiler::Profiler;
+using profiler::TraceShaper;
+using topology::Cluster;
+using topology::Detector;
+using topology::GpuKind;
+using topology::LogicalTopology;
+using topology::NodeId;
+
+TEST(AlphaBetaEstimatorTest, RecoversExactModel) {
+  // t = alpha + beta*s with alpha = 8us, bandwidth 12.5 GB/s.
+  AlphaBetaEstimator est;
+  const double alpha = 8e-6;
+  const double beta = 1.0 / 12.5e9;
+  for (const Bytes s : {1_MiB, 4_MiB, 16_MiB, 64_MiB}) {
+    est.add_sample(s, alpha + beta * static_cast<double>(s));
+  }
+  const auto fit = est.estimate();
+  EXPECT_NEAR(fit.alpha, alpha, 1e-9);
+  EXPECT_NEAR(fit.bandwidth(), 12.5e9, 1e3);
+  EXPECT_GT(fit.r_squared, 0.9999);
+}
+
+TEST(AlphaBetaEstimatorTest, ClampsNegativeAlphaFromNoise) {
+  AlphaBetaEstimator est;
+  est.add_sample(1_MiB, 1e-4);
+  est.add_sample(2_MiB, 1.9e-4);  // implies a slightly negative intercept
+  EXPECT_GE(est.estimate().alpha, 0.0);
+}
+
+TEST(AlphaBetaEstimatorTest, RejectsNonPositiveTime) {
+  AlphaBetaEstimator est;
+  EXPECT_THROW(est.add_sample(1_MiB, 0.0), std::invalid_argument);
+}
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void build(std::vector<topology::InstanceSpec> specs) {
+    sim_ = std::make_unique<sim::Simulator>();
+    cluster_ = std::make_unique<Cluster>(*sim_, std::move(specs));
+    Detector detector(*cluster_, util::Rng(1));
+    topo_ = Detector::build_logical_topology(*cluster_, detector.detect());
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<Cluster> cluster_;
+  LogicalTopology topo_;
+};
+
+TEST_F(ProfilerTest, RecoversNvlinkBandwidth) {
+  build(topology::heter_testbed());
+  Profiler profiler(*cluster_);
+  profiler.profile(topo_);
+  // A100 NVLink edge (ranks 0,1 on instance 0).
+  const auto& a100 = topo_.edge(NodeId::gpu(0), NodeId::gpu(1));
+  EXPECT_NEAR(a100.bandwidth(), topology::nvlink_bandwidth(GpuKind::kA100),
+              0.05 * topology::nvlink_bandwidth(GpuKind::kA100));
+  // V100 NVLink edge (ranks 8,9 on instance 2).
+  const auto& v100 = topo_.edge(NodeId::gpu(8), NodeId::gpu(9));
+  EXPECT_NEAR(v100.bandwidth(), topology::nvlink_bandwidth(GpuKind::kV100),
+              0.05 * topology::nvlink_bandwidth(GpuKind::kV100));
+}
+
+TEST_F(ProfilerTest, RecoversHeterogeneousNicBandwidths) {
+  build(topology::paper_testbed());
+  Profiler profiler(*cluster_);
+  const auto report = profiler.profile(topo_);
+  // A100->A100: 100 Gbps; anything touching a V100 server: 50 Gbps.
+  const auto& fast = topo_.edge(NodeId::nic(0), NodeId::nic(1));
+  EXPECT_NEAR(fast.bandwidth(), gbps(100), 0.08 * gbps(100));
+  const auto& slow = topo_.edge(NodeId::nic(0), NodeId::nic(4));
+  EXPECT_NEAR(slow.bandwidth(), gbps(50), 0.08 * gbps(50));
+  EXPECT_EQ(report.inter_instance_rounds, 5);
+}
+
+TEST_F(ProfilerTest, TcpProbesSeePerStreamCap) {
+  build(topology::homo_testbed(topology::NetworkStack::kTcp));
+  Profiler profiler(*cluster_);
+  profiler.profile(topo_);
+  // One probe stream on a TCP NIC is capped at ~20 Gbps (Sec. VI-D).
+  const auto& edge = topo_.edge(NodeId::nic(0), NodeId::nic(1));
+  EXPECT_NEAR(edge.bandwidth(), gbps(20), 0.08 * gbps(20));
+}
+
+TEST_F(ProfilerTest, AllEdgesHaveCostsAfterProfiling) {
+  build(topology::heter_testbed());
+  Profiler profiler(*cluster_);
+  profiler.profile(topo_);
+  for (const auto& edge : topo_.edges()) {
+    EXPECT_TRUE(edge.profiled) << to_string(edge.from) << "->" << to_string(edge.to);
+    EXPECT_GT(edge.beta, 0.0);
+  }
+}
+
+TEST_F(ProfilerTest, ProfilingReflectsShapedBandwidth) {
+  build(topology::homo_testbed());
+  cluster_->set_nic_capacity_fraction(1, 0.5);  // degrade instance 1 to 50 Gbps
+  Profiler profiler(*cluster_);
+  profiler.profile(topo_);
+  const auto& degraded = topo_.edge(NodeId::nic(0), NodeId::nic(1));
+  EXPECT_NEAR(degraded.bandwidth(), gbps(50), 0.08 * gbps(50));
+  const auto& healthy = topo_.edge(NodeId::nic(2), NodeId::nic(3));
+  EXPECT_NEAR(healthy.bandwidth(), gbps(100), 0.08 * gbps(100));
+}
+
+TEST_F(ProfilerTest, WallTimeIsReported) {
+  build(topology::homo_testbed());
+  Profiler profiler(*cluster_);
+  const Seconds before = sim_->now();
+  const auto report = profiler.profile(topo_);
+  EXPECT_GT(report.wall_time, 0.0);
+  EXPECT_DOUBLE_EQ(sim_->now() - before, report.wall_time);
+  // Profiling blocks training; it must stay well below a second per pass
+  // for a 500-iteration period to be practical.
+  EXPECT_LT(report.wall_time, 2.0);
+}
+
+// --- BandwidthTrace ---------------------------------------------------------
+
+TEST(BandwidthTraceTest, SyntheticTraceMatchesPaperEnvelope) {
+  const auto trace = BandwidthTrace::synthetic_cloud(6 * 3600.0, 60.0, 7);
+  EXPECT_EQ(trace.samples().size(), 360u);
+  // Fig. 1: up to 34% bandwidth degradation, up to ~17% latency increase.
+  EXPECT_GE(trace.min_bandwidth_fraction(), 0.60);
+  EXPECT_LE(trace.min_bandwidth_fraction(), 0.85);
+  EXPECT_GE(trace.max_latency_factor(), 1.05);
+  EXPECT_LE(trace.max_latency_factor(), 1.25);
+}
+
+TEST(BandwidthTraceTest, DeterministicForSeed) {
+  const auto a = BandwidthTrace::synthetic_cloud(3600, 60, 42);
+  const auto b = BandwidthTrace::synthetic_cloud(3600, 60, 42);
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples()[i].bandwidth_fraction, b.samples()[i].bandwidth_fraction);
+  }
+}
+
+TEST(BandwidthTraceTest, AmplificationLowersMinimum) {
+  const auto base = BandwidthTrace::synthetic_cloud(3600, 60, 3);
+  const auto amp = base.amplified(0.4);
+  EXPECT_LT(amp.min_bandwidth_fraction(), base.min_bandwidth_fraction());
+  EXPECT_GE(amp.min_bandwidth_fraction(), 0.05);
+  // x = 0 leaves the trace unchanged.
+  const auto same = base.amplified(0.0);
+  for (std::size_t i = 0; i < base.samples().size(); ++i) {
+    EXPECT_DOUBLE_EQ(same.samples()[i].bandwidth_fraction,
+                     base.samples()[i].bandwidth_fraction);
+  }
+}
+
+TEST(BandwidthTraceTest, LookupWrapsAround) {
+  const auto trace = BandwidthTrace::synthetic_cloud(600, 60, 5);
+  EXPECT_DOUBLE_EQ(trace.bandwidth_fraction_at(30), trace.samples()[0].bandwidth_fraction);
+  EXPECT_DOUBLE_EQ(trace.bandwidth_fraction_at(90), trace.samples()[1].bandwidth_fraction);
+  EXPECT_DOUBLE_EQ(trace.bandwidth_fraction_at(630), trace.samples()[0].bandwidth_fraction);
+}
+
+TEST(TraceShaperTest, AppliesAndRestoresCapacity) {
+  sim::Simulator sim;
+  Cluster cluster(sim, topology::homo_testbed());
+  // A two-sample trace: full then half.
+  std::vector<profiler::TraceSample> samples{{0.0, 1.0, 1.0}, {10.0, 0.5, 1.1}};
+  TraceShaper shaper(cluster, {BandwidthTrace(std::move(samples))});
+  shaper.start();
+  sim.run_until(5.0);
+  EXPECT_DOUBLE_EQ(cluster.nic_capacity(0), gbps(100));
+  sim.run_until(15.0);
+  EXPECT_DOUBLE_EQ(cluster.nic_capacity(0), gbps(50));
+  shaper.stop();
+  EXPECT_DOUBLE_EQ(cluster.nic_capacity(0), gbps(100));
+  // Other instances untouched.
+  EXPECT_DOUBLE_EQ(cluster.nic_capacity(1), gbps(100));
+}
+
+}  // namespace
+}  // namespace adapcc

@@ -1,0 +1,391 @@
+// Parameterized property suites (TEST_P sweeps) over the library's core
+// invariants:
+//   * collective correctness for every primitive x cluster x size x chunk;
+//   * behavior-tuple invariants on random trees and active sets;
+//   * byte conservation: simulated NIC traffic matches the aggregation
+//     model's predicted volumes;
+//   * strategy XML round-trip on randomized strategies;
+//   * simulator event ordering under random schedules;
+//   * EdgeChannel FIFO + conservation under random chunk streams;
+//   * the ski-rental 2-competitive bound over a parameter grid.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "collective/behavior.h"
+#include "collective/builders.h"
+#include "collective/executor.h"
+#include "profiler/profiler.h"
+#include "relay/ski_rental.h"
+#include "sim/edge_channel.h"
+#include "synthesizer/synthesizer.h"
+#include "topology/detector.h"
+#include "topology/testbeds.h"
+#include "util/rng.h"
+
+namespace adapcc {
+namespace {
+
+using collective::Primitive;
+using collective::Strategy;
+using topology::NodeId;
+
+// ---------------------------------------------------------------------------
+// Collective correctness sweep.
+// ---------------------------------------------------------------------------
+
+enum class TestCluster { kSingleServer, kHomo, kHeter, kFragmented };
+
+std::vector<topology::InstanceSpec> make_specs(TestCluster kind) {
+  switch (kind) {
+    case TestCluster::kSingleServer: return {topology::a100_server("s0")};
+    case TestCluster::kHomo: return topology::homo_testbed();
+    case TestCluster::kHeter: return topology::heter_testbed();
+    case TestCluster::kFragmented:
+      return {topology::fragmented_a100_server("f0"), topology::v100_server("v0")};
+  }
+  return {};
+}
+
+const char* cluster_name(TestCluster kind) {
+  switch (kind) {
+    case TestCluster::kSingleServer: return "single";
+    case TestCluster::kHomo: return "homo";
+    case TestCluster::kHeter: return "heter";
+    case TestCluster::kFragmented: return "fragmented";
+  }
+  return "?";
+}
+
+using CorrectnessParam = std::tuple<Primitive, TestCluster, Bytes /*tensor*/, Bytes /*chunk*/>;
+
+class CollectiveCorrectness : public ::testing::TestWithParam<CorrectnessParam> {};
+
+TEST_P(CollectiveCorrectness, DeliversExactAggregates) {
+  const auto [primitive, kind, tensor, chunk] = GetParam();
+  sim::Simulator sim;
+  topology::Cluster cluster(sim, make_specs(kind));
+  topology::Detector detector(cluster, util::Rng(3));
+  auto topo = topology::Detector::build_logical_topology(cluster, detector.detect());
+  profiler::Profiler profiler(cluster);
+  profiler.profile(topo);
+
+  std::vector<int> ranks;
+  for (int r = 0; r < cluster.world_size(); ++r) ranks.push_back(r);
+  synthesizer::SynthesizerConfig config;
+  config.chunk_candidates = {chunk};
+  synthesizer::Synthesizer synth(cluster, topo, config);
+  const Strategy strategy = synth.synthesize(primitive, ranks, tensor);
+  ASSERT_NO_THROW(strategy.validate(topo));
+
+  collective::Executor executor(cluster, strategy);
+  const auto result = executor.run(tensor);
+  EXPECT_GT(result.elapsed(), 0.0);
+
+  double full_sum_sub0 = 0.0;
+  for (const int r : ranks) full_sum_sub0 += collective::payload_value(r, 0, 0);
+
+  switch (primitive) {
+    case Primitive::kAllReduce:
+      for (const int r : ranks) {
+        ASSERT_TRUE(result.delivered.contains(r)) << r;
+        EXPECT_DOUBLE_EQ(result.delivered.at(r)[0][0], full_sum_sub0) << "rank " << r;
+      }
+      break;
+    case Primitive::kReduce:
+      ASSERT_FALSE(result.subs.empty());
+      ASSERT_FALSE(result.subs[0].root_values.empty());
+      EXPECT_DOUBLE_EQ(result.subs[0].root_values[0], full_sum_sub0);
+      break;
+    case Primitive::kBroadcast: {
+      const int root = strategy.subs[0].tree.root.index;
+      for (const int r : ranks) {
+        EXPECT_DOUBLE_EQ(result.delivered.at(r)[0][0], collective::payload_value(root, 0, 0));
+      }
+      break;
+    }
+    case Primitive::kAllToAll:
+      for (const int dst : ranks) {
+        for (const int src : ranks) {
+          if (src == dst) continue;
+          ASSERT_TRUE(result.alltoall_received.contains(dst));
+          ASSERT_TRUE(result.alltoall_received.at(dst).contains(src))
+              << "dst " << dst << " src " << src;
+        }
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollectiveCorrectness,
+    ::testing::Combine(::testing::Values(Primitive::kAllReduce, Primitive::kReduce,
+                                         Primitive::kBroadcast, Primitive::kAllToAll),
+                       ::testing::Values(TestCluster::kSingleServer, TestCluster::kHomo,
+                                         TestCluster::kHeter, TestCluster::kFragmented),
+                       ::testing::Values(megabytes(16), megabytes(96)),
+                       ::testing::Values(Bytes(1_MiB), Bytes(8_MiB))),
+    [](const ::testing::TestParamInfo<CorrectnessParam>& info) {
+      return collective::to_string(std::get<0>(info.param)) + "_" +
+             cluster_name(std::get<1>(info.param)) + "_" +
+             std::to_string(std::get<2>(info.param) / 1000000) + "MB_" +
+             std::to_string(std::get<3>(info.param) / 1024 / 1024) + "MiBchunk";
+    });
+
+// ---------------------------------------------------------------------------
+// Behavior-tuple invariants on random trees / active sets.
+// ---------------------------------------------------------------------------
+
+class BehaviorProperty : public ::testing::TestWithParam<int /*seed*/> {};
+
+TEST_P(BehaviorProperty, InvariantsHoldOnRandomTrees) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int nodes = static_cast<int>(rng.uniform_int(2, 12));
+  collective::SubCollective sub;
+  sub.tree.root = NodeId::gpu(0);
+  for (int n = 1; n < nodes; ++n) {
+    // Random parent among the already-inserted nodes: always a valid tree.
+    sub.tree.parent[NodeId::gpu(n)] = NodeId::gpu(static_cast<int>(rng.uniform_int(0, n - 1)));
+  }
+  std::set<int> active;
+  for (int n = 0; n < nodes; ++n) {
+    if (rng.bernoulli(0.6)) active.insert(n);
+  }
+
+  for (int n = 0; n < nodes; ++n) {
+    const NodeId node = NodeId::gpu(n);
+    const auto tuple = collective::derive_behavior(sub, Primitive::kReduce, node, active);
+    // Root never sends.
+    if (node == sub.tree.root) EXPECT_FALSE(tuple.has_send);
+    // A rank with nothing local and nothing received does nothing.
+    if (!tuple.is_active && !tuple.has_recv) {
+      EXPECT_FALSE(tuple.has_send);
+      EXPECT_FALSE(tuple.has_kernel);
+    }
+    // Aggregation requires something to aggregate with.
+    if (tuple.has_kernel) EXPECT_TRUE(tuple.has_recv);
+    // Leaves receive nothing.
+    if (sub.tree.children_of(node).empty()) EXPECT_FALSE(tuple.has_recv);
+    // is_active mirrors the active set exactly.
+    EXPECT_EQ(tuple.is_active, active.contains(n));
+    // hasRecv is exactly "some active rank below me".
+    int below = 0;
+    for (const NodeId child : sub.tree.children_of(node)) {
+      below += collective::active_in_subtree(sub.tree, child, active);
+    }
+    EXPECT_EQ(tuple.has_recv, below > 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BehaviorProperty, ::testing::Range(1, 33));
+
+// ---------------------------------------------------------------------------
+// Byte conservation: simulated NIC traffic == aggregation-model volumes.
+// ---------------------------------------------------------------------------
+
+class ConservationProperty : public ::testing::TestWithParam<int /*instances*/> {};
+
+TEST_P(ConservationProperty, ChainReduceMovesExactlyOneTensorPerInstance) {
+  const int instances = GetParam();
+  sim::Simulator sim;
+  topology::Cluster cluster(sim, topology::a100_fleet(instances));
+  // Chain of heads: every non-root instance sends exactly one aggregated
+  // tensor across its egress; the root sends nothing.
+  std::vector<int> ranks;
+  for (int r = 0; r < cluster.world_size(); ++r) ranks.push_back(r);
+  collective::Tree tree;
+  tree.root = NodeId::gpu(0);
+  for (int inst = 0; inst < instances; ++inst) {
+    const auto on_instance = cluster.ranks_on_instance(inst);
+    for (std::size_t i = 1; i < on_instance.size(); ++i) {
+      tree.parent[NodeId::gpu(on_instance[i])] = NodeId::gpu(on_instance[i - 1]);
+    }
+    if (inst > 0) {
+      tree.parent[NodeId::gpu(cluster.ranks_on_instance(inst)[0])] =
+          NodeId::gpu(cluster.ranks_on_instance(inst - 1)[0]);
+    }
+  }
+  const Bytes tensor = megabytes(64);
+  Strategy strategy =
+      collective::single_tree_strategy(Primitive::kReduce, ranks, std::move(tree), 2_MiB);
+
+  std::vector<Bytes> egress_before, ingress_before;
+  for (int inst = 0; inst < instances; ++inst) {
+    egress_before.push_back(cluster.nic_egress(inst).bytes_delivered());
+    ingress_before.push_back(cluster.nic_ingress(inst).bytes_delivered());
+  }
+  collective::Executor executor(cluster, strategy);
+  executor.run(tensor);
+  for (int inst = 0; inst < instances; ++inst) {
+    const Bytes egress =
+        cluster.nic_egress(inst).bytes_delivered() - egress_before[static_cast<std::size_t>(inst)];
+    const Bytes ingress = cluster.nic_ingress(inst).bytes_delivered() -
+                          ingress_before[static_cast<std::size_t>(inst)];
+    if (inst == 0) {
+      EXPECT_EQ(egress, 0u);
+      EXPECT_NEAR(static_cast<double>(ingress), static_cast<double>(tensor), 4.0 * 2_MiB);
+    } else {
+      // One aggregated tensor out; interior instances also receive one in.
+      EXPECT_NEAR(static_cast<double>(egress), static_cast<double>(tensor), 4.0 * 2_MiB);
+      if (inst < instances - 1) {
+        EXPECT_NEAR(static_cast<double>(ingress), static_cast<double>(tensor), 4.0 * 2_MiB);
+      } else {
+        EXPECT_EQ(ingress, 0u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ConservationProperty, ::testing::Values(2, 3, 4, 6));
+
+// ---------------------------------------------------------------------------
+// Strategy XML round-trip on randomized strategies.
+// ---------------------------------------------------------------------------
+
+class XmlRoundTripProperty : public ::testing::TestWithParam<int /*seed*/> {};
+
+TEST_P(XmlRoundTripProperty, FingerprintSurvivesRoundTrip) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977);
+  Strategy strategy;
+  const bool alltoall = rng.bernoulli(0.3);
+  strategy.primitive = alltoall ? Primitive::kAllToAll : Primitive::kAllReduce;
+  const int world = static_cast<int>(rng.uniform_int(2, 10));
+  for (int r = 0; r < world; ++r) strategy.participants.push_back(r);
+  const int subs = static_cast<int>(rng.uniform_int(1, 4));
+  for (int m = 0; m < subs; ++m) {
+    collective::SubCollective sub;
+    sub.id = m;
+    sub.fraction = 1.0 / subs;
+    sub.chunk_bytes = static_cast<Bytes>(rng.uniform_int(1, 16)) * 512_KiB;
+    if (alltoall) {
+      sub.alltoall_concurrency = static_cast<int>(rng.uniform_int(0, 4));
+      for (int a = 0; a < world; ++a) {
+        for (int b = 0; b < world; ++b) {
+          if (a == b) continue;
+          collective::FlowRoute route;
+          route.src = NodeId::gpu(a);
+          route.dst = NodeId::gpu(b);
+          route.path = {route.src, route.dst};
+          sub.flows.push_back(std::move(route));
+        }
+      }
+    } else {
+      sub.tree.root = NodeId::gpu(0);
+      for (int n = 1; n < world; ++n) {
+        sub.tree.parent[NodeId::gpu(n)] =
+            NodeId::gpu(static_cast<int>(rng.uniform_int(0, n - 1)));
+        if (rng.bernoulli(0.25)) sub.aggregate_at[NodeId::gpu(n)] = rng.bernoulli(0.5);
+      }
+    }
+    strategy.subs.push_back(std::move(sub));
+  }
+  const auto reloaded = Strategy::from_xml(strategy.to_xml());
+  EXPECT_EQ(reloaded.fingerprint(), strategy.fingerprint());
+  EXPECT_EQ(reloaded.participants, strategy.participants);
+  EXPECT_EQ(reloaded.subs.size(), strategy.subs.size());
+  for (std::size_t m = 0; m < strategy.subs.size(); ++m) {
+    EXPECT_EQ(reloaded.subs[m].alltoall_concurrency, strategy.subs[m].alltoall_concurrency);
+    EXPECT_EQ(reloaded.subs[m].chunk_bytes, strategy.subs[m].chunk_bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripProperty, ::testing::Range(1, 25));
+
+// ---------------------------------------------------------------------------
+// Simulator ordering under random schedules.
+// ---------------------------------------------------------------------------
+
+class SimulatorOrderProperty : public ::testing::TestWithParam<int /*seed*/> {};
+
+TEST_P(SimulatorOrderProperty, EventsFireInNonDecreasingTime) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+  sim::Simulator sim;
+  std::vector<Seconds> fired;
+  const int events = 200;
+  for (int i = 0; i < events; ++i) {
+    const Seconds when = rng.uniform(0.0, 10.0);
+    sim.schedule_at(when, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  // A few cancellations mid-stream.
+  const auto id = sim.schedule_at(5.0, [&fired] { fired.push_back(-1.0); });
+  sim.cancel(id);
+  sim.run();
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(events));
+  for (std::size_t i = 1; i < fired.size(); ++i) EXPECT_GE(fired[i], fired[i - 1]);
+  for (const Seconds t : fired) EXPECT_GE(t, 0.0);  // the cancelled one never fired
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorOrderProperty, ::testing::Range(1, 17));
+
+// ---------------------------------------------------------------------------
+// EdgeChannel FIFO + byte conservation under random chunk streams.
+// ---------------------------------------------------------------------------
+
+class EdgeChannelProperty : public ::testing::TestWithParam<int /*seed*/> {};
+
+TEST_P(EdgeChannelProperty, FifoAndConservation) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 271828);
+  sim::Simulator sim;
+  sim::FlowLink a(sim, "a", microseconds(rng.uniform(1, 20)), gbps(rng.uniform(10, 200)));
+  sim::FlowLink b(sim, "b", microseconds(rng.uniform(1, 20)), gbps(rng.uniform(10, 200)));
+  sim::EdgeChannel channel(sim, {&a, &b});
+  const int chunks = static_cast<int>(rng.uniform_int(1, 64));
+  Bytes total = 0;
+  std::vector<int> order;
+  for (int c = 0; c < chunks; ++c) {
+    const Bytes bytes = static_cast<Bytes>(rng.uniform_int(1, 4096)) * 1024;
+    total += bytes;
+    channel.send(bytes, [&order, c] { order.push_back(c); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(chunks));
+  for (int c = 0; c < chunks; ++c) EXPECT_EQ(order[static_cast<std::size_t>(c)], c);
+  EXPECT_EQ(channel.bytes_sent(), total);
+  EXPECT_EQ(a.bytes_delivered(), total);
+  EXPECT_EQ(b.bytes_delivered(), total);
+  EXPECT_EQ(channel.chunks_in_flight(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeChannelProperty, ::testing::Range(1, 17));
+
+// ---------------------------------------------------------------------------
+// Ski-rental bound over a parameter grid.
+// ---------------------------------------------------------------------------
+
+using SkiParam = std::tuple<double /*straggler*/, double /*buy*/>;
+
+class SkiRentalBound : public ::testing::TestWithParam<SkiParam> {};
+
+TEST_P(SkiRentalBound, BreakEvenIsTwoCompetitive) {
+  const auto [straggler, buy] = GetParam();
+  // Simulate the break-even policy in 1 ms cycles against arrival time
+  // `straggler`; the offline optimum pays min(straggler, buy).
+  double waited = 0.0;
+  double policy_cost;
+  for (;;) {
+    if (waited >= straggler) {
+      policy_cost = straggler;  // everyone became ready while renting
+      break;
+    }
+    if (relay::SkiRentalPolicy::decide(waited, buy) ==
+        relay::SkiRentalPolicy::Choice::kProceed) {
+      policy_cost = waited + buy;  // bought after renting `waited`
+      break;
+    }
+    waited += 1e-3;
+  }
+  const double optimum = std::min(straggler, buy);
+  EXPECT_LE(policy_cost, 2.0 * optimum + 2e-3)  // cycle-granularity slack
+      << "straggler=" << straggler << " buy=" << buy;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SkiRentalBound,
+    ::testing::Combine(::testing::Values(0.002, 0.01, 0.05, 0.2, 0.5, 2.0),
+                       ::testing::Values(0.005, 0.02, 0.1, 0.4)));
+
+}  // namespace
+}  // namespace adapcc

@@ -1,0 +1,214 @@
+// Tests for the Work/Result queues (Fig. 4) and the PyTorch-DDP
+// communication hook with gradient bucketing (Sec. VI-A).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "collective/builders.h"
+#include "runtime/adapcc.h"
+#include "runtime/ddp_hook.h"
+#include "runtime/work_queue.h"
+#include "topology/testbeds.h"
+
+namespace adapcc {
+namespace {
+
+using collective::Primitive;
+using collective::Strategy;
+using runtime::CommRequest;
+using runtime::DdpCommHook;
+using runtime::WorkQueue;
+using topology::NodeId;
+
+class QueueTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim_ = std::make_unique<sim::Simulator>();
+    cluster_ = std::make_unique<topology::Cluster>(*sim_, topology::homo_testbed());
+    Strategy strategy = collective::single_tree_strategy(
+        Primitive::kAllReduce, all_ranks(), hierarchical_tree(), 1_MiB);
+    executor_ = std::make_unique<collective::Executor>(*cluster_, std::move(strategy));
+    queue_ = std::make_unique<WorkQueue>(*sim_, *executor_);
+  }
+
+  std::vector<int> all_ranks() const {
+    std::vector<int> ranks;
+    for (int r = 0; r < 16; ++r) ranks.push_back(r);
+    return ranks;
+  }
+
+  collective::Tree hierarchical_tree() {
+    collective::Tree tree;
+    tree.root = NodeId::gpu(0);
+    for (int inst = 0; inst < 4; ++inst) {
+      const auto ranks = cluster_->ranks_on_instance(inst);
+      for (std::size_t i = 1; i < ranks.size(); ++i) {
+        tree.parent[NodeId::gpu(ranks[i])] = NodeId::gpu(ranks[i - 1]);
+      }
+      if (inst != 0) tree.parent[NodeId::gpu(ranks[0])] = NodeId::gpu(0);
+    }
+    return tree;
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<topology::Cluster> cluster_;
+  std::unique_ptr<collective::Executor> executor_;
+  std::unique_ptr<WorkQueue> queue_;
+};
+
+TEST_F(QueueTest, ExecutesRequestsInSubmissionOrder) {
+  CommRequest request;
+  request.tensor_bytes = megabytes(8);
+  const int id1 = queue_->submit(request);
+  const int id2 = queue_->submit(request);
+  const int id3 = queue_->submit(request);
+  EXPECT_EQ(queue_->pending(), 3u);
+  queue_->drain(*sim_);
+  EXPECT_TRUE(queue_->idle());
+  ASSERT_EQ(queue_->completed(), 3u);
+  const auto r1 = queue_->try_fetch();
+  const auto r2 = queue_->try_fetch();
+  const auto r3 = queue_->try_fetch();
+  ASSERT_TRUE(r1 && r2 && r3);
+  EXPECT_EQ(r1->id, id1);
+  EXPECT_EQ(r2->id, id2);
+  EXPECT_EQ(r3->id, id3);
+  // In-order execution: each collective finishes no earlier than the prior.
+  EXPECT_LE(r1->result.finished, r2->result.finished);
+  EXPECT_LE(r2->result.finished, r3->result.finished);
+  EXPECT_FALSE(queue_->try_fetch().has_value());
+}
+
+TEST_F(QueueTest, BackToBackRequestsPipelineTighter ) {
+  // Three queued 16 MB collectives must take less than 3x a lone one plus
+  // slack (contexts are reused; only in-order dispatch separates them).
+  CommRequest request;
+  request.tensor_bytes = megabytes(16);
+  const Seconds t0 = sim_->now();
+  for (int i = 0; i < 3; ++i) queue_->submit(request);
+  queue_->drain(*sim_);
+  const Seconds three = sim_->now() - t0;
+
+  const Seconds t1 = sim_->now();
+  queue_->submit(request);
+  queue_->drain(*sim_);
+  const Seconds one = sim_->now() - t1;
+  EXPECT_LT(three, 3.5 * one);
+  EXPECT_GT(three, 2.0 * one);
+}
+
+TEST_F(QueueTest, FetchBeforeCompletionIsEmpty) {
+  EXPECT_FALSE(queue_->try_fetch().has_value());
+  CommRequest request;
+  request.tensor_bytes = megabytes(4);
+  queue_->submit(request);
+  EXPECT_FALSE(queue_->try_fetch().has_value());  // nothing done yet
+  queue_->drain(*sim_);
+  EXPECT_TRUE(queue_->try_fetch().has_value());
+}
+
+// --- DDP hook -----------------------------------------------------------------
+
+class DdpHookTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim_ = std::make_unique<sim::Simulator>();
+    cluster_ = std::make_unique<topology::Cluster>(*sim_, topology::homo_testbed());
+    adapcc_ = std::make_unique<runtime::Adapcc>(*cluster_);
+    adapcc_->init();
+    adapcc_->setup();
+  }
+
+  DdpCommHook make_hook(Bytes tensor) {
+    return DdpCommHook(*cluster_,
+                       adapcc_->strategy_for(Primitive::kAllReduce, tensor));
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<topology::Cluster> cluster_;
+  std::unique_ptr<runtime::Adapcc> adapcc_;
+};
+
+TEST_F(DdpHookTest, SplitsModelIntoDdpBuckets) {
+  auto hook = make_hook(megabytes(475));
+  std::map<int, Seconds> begin, end;
+  const Seconds t0 = sim_->now();
+  for (int r = 0; r < 16; ++r) {
+    begin[r] = t0;
+    end[r] = t0 + 0.2;
+  }
+  const auto result = hook.run_iteration(megabytes(475), begin, end);
+  EXPECT_EQ(result.buckets, 19);  // ceil(475 / 25)
+  ASSERT_EQ(result.bucket_finish.size(), 19u);
+  for (std::size_t b = 1; b < result.bucket_finish.size(); ++b) {
+    EXPECT_GE(result.bucket_finish[b], result.bucket_finish[b - 1]);
+  }
+}
+
+TEST_F(DdpHookTest, OverlapHidesCommunicationBehindBackward) {
+  // With bucketing, communication of early buckets overlaps the rest of
+  // backward: the iteration ends shortly after the slowest rank's backward,
+  // not backward + full collective.
+  const Bytes tensor = megabytes(475);
+  auto hook = make_hook(tensor);
+  std::map<int, Seconds> begin, end;
+  const Seconds t0 = sim_->now();
+  for (int r = 0; r < 16; ++r) {
+    begin[r] = t0 + 0.1;   // backward starts after forward
+    end[r] = t0 + 0.45;    // and takes 350 ms
+  }
+  const auto bucketed = hook.run_iteration(tensor, begin, end);
+  const Seconds backward_end = 0.45;
+  const Seconds tail = bucketed.finished - t0 - backward_end;
+  EXPECT_GT(tail, 0.0);
+  EXPECT_LT(tail, 0.05);  // only the last bucket's collective remains
+
+  // Whole-tensor synchronization at backward end for comparison.
+  collective::Executor whole(*cluster_, adapcc_->strategy_for(Primitive::kAllReduce, tensor));
+  collective::CollectiveOptions options;
+  for (int r = 0; r < 16; ++r) options.ready_at[r] = sim_->now() + backward_end;
+  const auto monolithic = whole.run(tensor, options);
+  const Seconds monolithic_tail = monolithic.finished - sim_->now() + 0.0;
+  EXPECT_LT(tail, 0.5 * (monolithic.elapsed() - backward_end + 1e-9) + 0.05);
+}
+
+TEST_F(DdpHookTest, StragglersEarlyBucketsFlowEarly) {
+  const Bytes tensor = megabytes(100);
+  auto hook = make_hook(tensor);
+  std::map<int, Seconds> begin, end;
+  const Seconds t0 = sim_->now();
+  for (int r = 0; r < 16; ++r) {
+    begin[r] = t0;
+    end[r] = t0 + 0.2;
+  }
+  end[5] = t0 + 1.0;  // straggler's backward is 5x longer
+  const auto result = hook.run_iteration(tensor, begin, end);
+  // First bucket completes long before the straggler finishes backward.
+  EXPECT_LT(result.bucket_finish.front(), t0 + 0.5);
+  // Last bucket is gated by the straggler, with a small tail.
+  EXPECT_GT(result.bucket_finish.back(), t0 + 1.0);
+  EXPECT_LT(result.bucket_finish.back(), t0 + 1.1);
+}
+
+TEST_F(DdpHookTest, RejectsNonAllReduceStrategy) {
+  auto strategy = adapcc_->strategy_for(Primitive::kAllReduce, megabytes(64));
+  strategy.primitive = Primitive::kReduce;
+  EXPECT_THROW(DdpCommHook(*cluster_, strategy), std::invalid_argument);
+}
+
+// --- elastic scaling ------------------------------------------------------------
+
+TEST_F(DdpHookTest, ExcludedWorkerCanRejoin) {
+  adapcc_->exclude_workers({3});
+  EXPECT_EQ(adapcc_->participants().size(), 15u);
+  adapcc_->include_workers({3});
+  EXPECT_EQ(adapcc_->participants().size(), 16u);
+  const auto result = adapcc_->allreduce(megabytes(32));
+  double expected = 0.0;
+  for (int r = 0; r < 16; ++r) expected += collective::payload_value(r, 0, 0);
+  for (int r = 0; r < 16; ++r) EXPECT_DOUBLE_EQ(result.delivered.at(r)[0][0], expected);
+  EXPECT_THROW(adapcc_->include_workers({99}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adapcc

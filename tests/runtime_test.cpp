@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "collective/payload.h"
+#include "runtime/adapcc.h"
+#include "runtime/adapcc_backend.h"
+#include "topology/testbeds.h"
+
+namespace adapcc {
+namespace {
+
+using collective::Primitive;
+using runtime::Adapcc;
+using runtime::AdapccBackend;
+using runtime::AdapccConfig;
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  void build(std::vector<topology::InstanceSpec> specs) {
+    sim_ = std::make_unique<sim::Simulator>();
+    cluster_ = std::make_unique<topology::Cluster>(*sim_, std::move(specs));
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<topology::Cluster> cluster_;
+};
+
+TEST_F(RuntimeTest, InitDetectsAndProfiles) {
+  build(topology::heter_testbed());
+  Adapcc adapcc(*cluster_);
+  adapcc.init();
+  EXPECT_TRUE(adapcc.initialized());
+  EXPECT_EQ(adapcc.participants().size(), 16u);
+  EXPECT_GT(adapcc.detection_time(), 0.0);
+  for (const auto& edge : adapcc.topology().edges()) EXPECT_TRUE(edge.profiled);
+}
+
+TEST_F(RuntimeTest, CollectiveBeforeInitThrows) {
+  build(topology::homo_testbed());
+  Adapcc adapcc(*cluster_);
+  EXPECT_THROW(adapcc.allreduce(megabytes(64)), std::logic_error);
+  EXPECT_THROW(adapcc.setup(), std::logic_error);
+}
+
+TEST_F(RuntimeTest, SetupCostPaidOnce) {
+  build(topology::homo_testbed());
+  Adapcc adapcc(*cluster_);
+  adapcc.init();
+  const Seconds cost = adapcc.setup();
+  EXPECT_GT(cost, 0.0);
+  EXPECT_LT(cost, 1.0);  // sub-second context establishment
+}
+
+TEST_F(RuntimeTest, AllPrimitivesProduceCorrectResults) {
+  build(topology::heter_testbed());
+  Adapcc adapcc(*cluster_);
+  adapcc.init();
+  adapcc.setup();
+  const int world = cluster_->world_size();
+
+  const auto allreduce = adapcc.allreduce(megabytes(32));
+  double expected = 0.0;
+  for (int r = 0; r < world; ++r) expected += collective::payload_value(r, 0, 0);
+  for (int r = 0; r < world; ++r) {
+    EXPECT_DOUBLE_EQ(allreduce.delivered.at(r)[0][0], expected);
+  }
+
+  const auto reduce = adapcc.reduce(megabytes(32));
+  ASSERT_FALSE(reduce.subs.empty());
+  EXPECT_DOUBLE_EQ(reduce.subs[0].root_values.at(0), expected);
+
+  const auto alltoall = adapcc.alltoall(megabytes(32));
+  EXPECT_EQ(alltoall.alltoall_received.size(), static_cast<std::size_t>(world));
+
+  const auto broadcast = adapcc.broadcast(megabytes(32));
+  EXPECT_FALSE(broadcast.delivered.empty());
+}
+
+TEST_F(RuntimeTest, AdaptiveAllReducePreservesSumUnderStraggler) {
+  build(topology::homo_testbed());
+  AdapccConfig config;
+  // Relax the fault deadline: this test exercises phase-2 merging, and with
+  // every other worker ready instantly the 5x-span default would classify
+  // the straggler as faulty.
+  config.coordinator.fault_multiplier = 50.0;
+  Adapcc adapcc(*cluster_, config);
+  adapcc.init();
+  adapcc.setup();
+  std::map<int, Seconds> ready;
+  const Seconds now = cluster_->simulator().now();
+  for (int r = 0; r < cluster_->world_size(); ++r) ready[r] = now;
+  ready[7] = now + 0.15;  // straggler: triggers phase 1, merged in phase 2
+  const auto result = adapcc.allreduce_adaptive(megabytes(128), ready);
+  EXPECT_TRUE(result.partial);
+  EXPECT_TRUE(result.faulty.empty());
+  double expected = 0.0;
+  for (int r = 0; r < cluster_->world_size(); ++r) {
+    expected += collective::payload_value(r, 0, 0);
+  }
+  for (int r = 0; r < cluster_->world_size(); ++r) {
+    EXPECT_DOUBLE_EQ(result.final_values.at(r), expected);
+  }
+}
+
+TEST_F(RuntimeTest, ReprofileWithoutChangeSkipsReconstruction) {
+  build(topology::homo_testbed());
+  Adapcc adapcc(*cluster_);
+  adapcc.init();
+  adapcc.setup();
+  adapcc.allreduce(megabytes(64));  // install a strategy
+  const auto report = adapcc.reprofile(megabytes(64));
+  // Stable network: same strategy, no context re-setup.
+  EXPECT_FALSE(report.graph_changed);
+  EXPECT_DOUBLE_EQ(report.context_setup_time, 0.0);
+  EXPECT_GT(report.profiling_time, 0.0);
+}
+
+TEST_F(RuntimeTest, ReprofileAdaptsToDegradedNic) {
+  build(topology::homo_testbed());
+  Adapcc adapcc(*cluster_);
+  adapcc.init();
+  adapcc.setup();
+  adapcc.allreduce(megabytes(256));
+  const auto& before = adapcc.strategy_for(Primitive::kAllReduce, megabytes(256));
+  // Degrade an instance that sits in the *interior* of the synthesized
+  // chains (it relays other servers' transit traffic there). The adapted
+  // strategy must restructure so the slow NIC stops carrying transit —
+  // i.e. its head moves to a chain endpoint. Note an AllReduce chain always
+  // crosses every NIC twice for that instance's own data; only the transit
+  // load is avoidable, so the root need not move.
+  const int root_instance = cluster_->instance_of_rank(before.subs[0].tree.root.index);
+  const int degraded = (root_instance + 1) % cluster_->instance_count();
+  cluster_->set_nic_capacity_fraction(degraded, 0.25);  // 25 Gbps
+  const auto report = adapcc.reprofile(megabytes(256));
+  EXPECT_TRUE(report.graph_changed);
+  EXPECT_GT(report.context_setup_time, 0.0);
+  const auto& after = adapcc.strategy_for(Primitive::kAllReduce, megabytes(256));
+  // The degraded instance's head must not be an interior node (one with
+  // both a parent and children among the other instances' heads).
+  for (const auto& sub : after.subs) {
+    for (const auto& node : sub.tree.nodes()) {
+      if (!node.is_gpu() || cluster_->instance_of_rank(node.index) != degraded) continue;
+      int cross_children = 0;
+      for (const auto& child : sub.tree.children_of(node)) {
+        if (child.is_gpu() && cluster_->instance_of_rank(child.index) != degraded) {
+          ++cross_children;
+        }
+      }
+      const bool has_cross_parent =
+          sub.tree.parent.contains(node) &&
+          cluster_->instance_of_rank(sub.tree.parent.at(node).index) != degraded;
+      EXPECT_FALSE(cross_children > 0 && has_cross_parent)
+          << to_string(node) << " relays transit traffic through the degraded NIC";
+    }
+  }
+}
+
+TEST_F(RuntimeTest, ExcludeWorkersShrinksGroup) {
+  build(topology::homo_testbed());
+  Adapcc adapcc(*cluster_);
+  adapcc.init();
+  adapcc.setup();
+  adapcc.exclude_workers({3, 7});
+  EXPECT_EQ(adapcc.participants().size(), 14u);
+  const auto result = adapcc.allreduce(megabytes(32));
+  double expected = 0.0;
+  for (const int r : adapcc.participants()) expected += collective::payload_value(r, 0, 0);
+  for (const int r : adapcc.participants()) {
+    EXPECT_DOUBLE_EQ(result.delivered.at(r)[0][0], expected);
+  }
+  EXPECT_FALSE(result.delivered.contains(3));
+}
+
+TEST_F(RuntimeTest, RestartCostModelScalesWithWorldAndModel) {
+  const Seconds small = runtime::nccl_restart_cost(8, megabytes(200));
+  const Seconds large = runtime::nccl_restart_cost(24, megabytes(528));
+  EXPECT_GT(large, small);
+  EXPECT_GT(small, 3.0);  // checkpoint + rendezvous dominate
+}
+
+TEST_F(RuntimeTest, ReconstructionFarCheaperThanRestart) {
+  build(topology::homo_testbed());
+  Adapcc adapcc(*cluster_);
+  adapcc.init();
+  adapcc.setup();
+  adapcc.allreduce(megabytes(256));
+  cluster_->set_nic_capacity_fraction(1, 0.4);
+  const auto report = adapcc.reprofile(megabytes(256));
+  const Seconds nccl = runtime::nccl_restart_cost(cluster_->world_size(), megabytes(528));
+  // The paper reports 74-91% time saved vs terminating and relaunching.
+  EXPECT_LT(report.total(), 0.26 * nccl);
+}
+
+TEST_F(RuntimeTest, BackendWrapperMatchesDirectUse) {
+  build(topology::heter_testbed());
+  AdapccBackend backend(*cluster_);
+  std::vector<int> ranks;
+  for (int r = 0; r < cluster_->world_size(); ++r) ranks.push_back(r);
+  const auto plan = backend.plan(Primitive::kAllReduce, ranks, megabytes(256));
+  EXPECT_EQ(plan.origin, "adapcc");
+  const auto result = backend.run(Primitive::kAllReduce, ranks, megabytes(64), {});
+  EXPECT_GT(result.elapsed(), 0.0);
+  EXPECT_EQ(backend.name(), "adapcc");
+}
+
+}  // namespace
+}  // namespace adapcc

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/edge_channel.h"
+#include "sim/flow_link.h"
+#include "sim/gpu_stream.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace adapcc {
+namespace {
+
+using sim::EdgeChannel;
+using sim::FlowLink;
+using sim::GpuStream;
+using sim::Simulator;
+
+TEST(SimulatorTest, FiresEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulatorTest, EqualTimestampsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(1.0, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop) {
+  Simulator sim;
+  const auto id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  sim.cancel(id);  // must not crash or corrupt state
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(1.0, recurse);
+  };
+  sim.schedule_after(1.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&] { ++fired; });
+  const auto n = sim.run_until(2.0);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RejectsPastScheduling) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), std::invalid_argument);
+}
+
+// --- FlowLink -------------------------------------------------------------
+
+TEST(FlowLinkTest, SoloTransferTakesAlphaPlusServiceTime) {
+  Simulator sim;
+  FlowLink link(sim, "l", microseconds(10), gBps(1));  // 1 GB/s
+  Seconds done_at = -1;
+  link.start_transfer(megabytes(100), [&] { done_at = sim.now(); });
+  sim.run();
+  // 100 MB at 1 GB/s = 0.1 s service + 10 us propagation.
+  EXPECT_NEAR(done_at, 0.1 + 10e-6, 1e-9);
+  EXPECT_EQ(link.bytes_delivered(), megabytes(100));
+}
+
+TEST(FlowLinkTest, ServedCallbackPrecedesDelivery) {
+  Simulator sim;
+  FlowLink link(sim, "l", microseconds(100), gBps(1));
+  Seconds served_at = -1, delivered_at = -1;
+  link.start_transfer(
+      megabytes(1), [&] { delivered_at = sim.now(); }, [&] { served_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(served_at, 1e-3, 1e-9);
+  EXPECT_NEAR(delivered_at, 1e-3 + 100e-6, 1e-9);
+}
+
+TEST(FlowLinkTest, ConcurrentTransfersShareBandwidthEqually) {
+  Simulator sim;
+  FlowLink link(sim, "l", 0.0, gBps(1));
+  std::vector<Seconds> done;
+  for (int i = 0; i < 2; ++i) {
+    link.start_transfer(megabytes(100), [&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Both complete at 0.2 s (each gets 0.5 GB/s).
+  EXPECT_NEAR(done[0], 0.2, 1e-9);
+  EXPECT_NEAR(done[1], 0.2, 1e-9);
+}
+
+TEST(FlowLinkTest, LateJoinerSlowsFirstTransfer) {
+  Simulator sim;
+  FlowLink link(sim, "l", 0.0, gBps(1));
+  Seconds first_done = -1, second_done = -1;
+  link.start_transfer(megabytes(100), [&] { first_done = sim.now(); });
+  sim.schedule_at(0.05, [&] {
+    link.start_transfer(megabytes(100), [&] { second_done = sim.now(); });
+  });
+  sim.run();
+  // First: 50 MB alone (0.05 s), then 50 MB at half rate (0.1 s) -> 0.15 s.
+  EXPECT_NEAR(first_done, 0.15, 1e-9);
+  // Second: 50 MB at half rate (0.1 s), then 50 MB alone (0.05 s) -> 0.2 s.
+  EXPECT_NEAR(second_done, 0.2, 1e-9);
+}
+
+TEST(FlowLinkTest, CapacityChangeMidTransferRescalesRate) {
+  Simulator sim;
+  FlowLink link(sim, "l", 0.0, gBps(1));
+  Seconds done = -1;
+  link.start_transfer(megabytes(100), [&] { done = sim.now(); });
+  sim.schedule_at(0.05, [&] { link.set_capacity(gBps(0.5)); });
+  sim.run();
+  // 50 MB at 1 GB/s, then 50 MB at 0.5 GB/s -> 0.05 + 0.1 = 0.15 s.
+  EXPECT_NEAR(done, 0.15, 1e-9);
+}
+
+TEST(FlowLinkTest, PerTransferCapLimitsSoloRate) {
+  Simulator sim;
+  // 100 Gbps link, 20 Gbps single-stream cap (the TCP model of Sec. VI-D).
+  FlowLink link(sim, "tcp", 0.0, gbps(100), gbps(20));
+  Seconds done = -1;
+  link.start_transfer(megabytes(250), [&] { done = sim.now(); });
+  sim.run();
+  // 250 MB at 2.5 GB/s = 0.1 s (not 0.02 s).
+  EXPECT_NEAR(done, 0.1, 1e-9);
+}
+
+TEST(FlowLinkTest, ManyStreamsSaturateCappedLink) {
+  Simulator sim;
+  FlowLink link(sim, "tcp", 0.0, gbps(100), gbps(20));
+  int completed = 0;
+  // 5 streams x 20 Gbps = the full 100 Gbps.
+  for (int i = 0; i < 5; ++i) {
+    link.start_transfer(megabytes(250), [&] { ++completed; });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 5);
+  EXPECT_NEAR(sim.now(), 0.1, 1e-9);  // same 0.1 s as one capped stream
+}
+
+TEST(FlowLinkTest, ZeroByteTransferDeliversAfterLatency) {
+  Simulator sim;
+  FlowLink link(sim, "l", microseconds(7), gBps(1));
+  Seconds done = -1;
+  link.start_transfer(0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done, 7e-6, 1e-12);
+}
+
+TEST(FlowLinkTest, StalledLinkResumesOnCapacityRestore) {
+  Simulator sim;
+  FlowLink link(sim, "l", 0.0, gBps(1));
+  Seconds done = -1;
+  link.start_transfer(megabytes(100), [&] { done = sim.now(); });
+  sim.schedule_at(0.05, [&] { link.set_capacity(1e-6); });  // outage
+  sim.schedule_at(1.0, [&] { link.set_capacity(gBps(1)); });
+  sim.run();
+  // 50 MB before the outage, stalled until t=1, then 50 MB more.
+  EXPECT_NEAR(done, 1.05, 1e-6);
+}
+
+TEST(FlowLinkTest, BusyTimeTracksActivity) {
+  Simulator sim;
+  FlowLink link(sim, "l", 0.0, gBps(1));
+  link.start_transfer(megabytes(100), nullptr);
+  sim.run();
+  EXPECT_NEAR(link.busy_time(), 0.1, 1e-9);
+}
+
+// --- GpuStream --------------------------------------------------------------
+
+TEST(GpuStreamTest, OperationsSerialize) {
+  Simulator sim;
+  GpuStream stream(sim);
+  std::vector<Seconds> completions;
+  stream.enqueue(1.0, [&] { completions.push_back(sim.now()); });
+  stream.enqueue(2.0, [&] { completions.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);
+  EXPECT_DOUBLE_EQ(completions[1], 3.0);
+  EXPECT_DOUBLE_EQ(stream.total_busy(), 3.0);
+}
+
+TEST(GpuStreamTest, IdleStreamStartsOpsImmediately) {
+  Simulator sim;
+  GpuStream stream(sim);
+  stream.enqueue(1.0, nullptr);
+  sim.run();
+  Seconds done = -1;
+  stream.enqueue(0.5, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 1.5);
+}
+
+// --- EdgeChannel ------------------------------------------------------------
+
+TEST(EdgeChannelTest, SingleChunkCrossesBothLinks) {
+  Simulator sim;
+  FlowLink egress(sim, "e", microseconds(4), gbps(100));
+  FlowLink ingress(sim, "i", microseconds(4), gbps(100));
+  EdgeChannel channel(sim, {&egress, &ingress});
+  Seconds done = -1;
+  channel.send(megabytes(125), [&] { done = sim.now(); });
+  sim.run();
+  // 125 MB at 12.5 GB/s = 10 ms per link, store-and-forward + 2x alpha.
+  EXPECT_NEAR(done, 0.02 + 8e-6, 1e-8);
+}
+
+TEST(EdgeChannelTest, ChunksPipelineAcrossLinks) {
+  Simulator sim;
+  FlowLink egress(sim, "e", 0.0, gbps(100));
+  FlowLink ingress(sim, "i", 0.0, gbps(100));
+  EdgeChannel channel(sim, {&egress, &ingress});
+  const int chunks = 10;
+  int delivered = 0;
+  for (int i = 0; i < chunks; ++i) {
+    channel.send(megabytes(12.5), [&] { ++delivered; });
+  }
+  sim.run();
+  EXPECT_EQ(delivered, chunks);
+  // Each chunk: 1 ms per link. Pipelined: (chunks + 1) * 1 ms, far below the
+  // store-and-forward bound of chunks * 2 ms.
+  EXPECT_NEAR(sim.now(), (chunks + 1) * 1e-3, 1e-6);
+}
+
+TEST(EdgeChannelTest, LatencyIsHiddenByPipelining) {
+  Simulator sim;
+  // High-latency link: with serialization-only occupancy the alphas of
+  // successive chunks overlap.
+  FlowLink link(sim, "l", milliseconds(1), gbps(100));
+  EdgeChannel channel(sim, {&link});
+  const int chunks = 20;
+  int delivered = 0;
+  for (int i = 0; i < chunks; ++i) {
+    channel.send(megabytes(12.5), [&] { ++delivered; });
+  }
+  sim.run();
+  EXPECT_EQ(delivered, chunks);
+  // Serialization: 20 x 1 ms service + one final 1 ms propagation,
+  // NOT 20 x (1 ms + 1 ms).
+  EXPECT_NEAR(sim.now(), chunks * 1e-3 + 1e-3, 1e-6);
+}
+
+TEST(EdgeChannelTest, DeliveriesPreserveFifoOrder) {
+  Simulator sim;
+  FlowLink a(sim, "a", microseconds(5), gbps(50));
+  FlowLink b(sim, "b", microseconds(5), gbps(100));
+  EdgeChannel channel(sim, {&a, &b});
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    channel.send(1_MiB, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EdgeChannelTest, PipelinedTransferHelperCompletes) {
+  Simulator sim;
+  FlowLink link(sim, "l", 0.0, gBps(1));
+  bool done = false;
+  sim::pipelined_transfer(sim, {&link}, megabytes(100), megabytes(10), [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(sim.now(), 0.1, 1e-9);
+}
+
+TEST(EdgeChannelTest, ZeroByteTransferCompletes) {
+  Simulator sim;
+  FlowLink link(sim, "l", 0.0, gBps(1));
+  bool done = false;
+  sim::pipelined_transfer(sim, {&link}, 0, 1_MiB, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(EdgeChannelTest, TwoChannelsOnOneLinkShareBandwidth) {
+  Simulator sim;
+  FlowLink link(sim, "l", 0.0, gBps(1));
+  EdgeChannel c1(sim, {&link});
+  EdgeChannel c2(sim, {&link});
+  Seconds done1 = -1, done2 = -1;
+  c1.send(megabytes(100), [&] { done1 = sim.now(); });
+  c2.send(megabytes(100), [&] { done2 = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done1, 0.2, 1e-9);
+  EXPECT_NEAR(done2, 0.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace adapcc

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/simulator.h"
+#include "topology/cluster.h"
+#include "topology/detector.h"
+#include "topology/hardware.h"
+#include "topology/logical_topology.h"
+#include "topology/node.h"
+#include "topology/testbeds.h"
+#include "util/rng.h"
+
+namespace adapcc {
+namespace {
+
+using topology::Cluster;
+using topology::DetectionResult;
+using topology::Detector;
+using topology::EdgeType;
+using topology::GpuKind;
+using topology::InstanceSpec;
+using topology::LogicalTopology;
+using topology::NodeId;
+
+TEST(Hardware, ComputeScaleOrdering) {
+  EXPECT_GT(topology::compute_scale(GpuKind::kA100), topology::compute_scale(GpuKind::kV100));
+  EXPECT_GT(topology::compute_scale(GpuKind::kH100), topology::compute_scale(GpuKind::kA100));
+}
+
+TEST(Hardware, NvlinkGenerationsDiffer) {
+  // NVLink4.0 on H100 is ~10x NVLink1.0 (Sec. II-A).
+  EXPECT_GT(topology::nvlink_bandwidth(GpuKind::kH100),
+            9 * topology::nvlink_bandwidth(GpuKind::kM40));
+}
+
+TEST(InstanceSpecTest, DefaultSwitchAssignmentPairsGpus) {
+  const InstanceSpec spec = topology::a100_server("s0");
+  EXPECT_EQ(spec.pcie_switch_count(), 2);
+  EXPECT_EQ(spec.switch_of_gpu(0), 0);
+  EXPECT_EQ(spec.switch_of_gpu(1), 0);
+  EXPECT_EQ(spec.switch_of_gpu(2), 1);
+  EXPECT_EQ(spec.switch_of_gpu(3), 1);
+  EXPECT_THROW(spec.switch_of_gpu(4), std::out_of_range);
+}
+
+TEST(InstanceSpecTest, FragmentedNvlinkWiring) {
+  const InstanceSpec spec = topology::fragmented_a100_server("s0");
+  EXPECT_TRUE(spec.nvlink_connected(0, 1));
+  EXPECT_TRUE(spec.nvlink_connected(1, 0));
+  EXPECT_TRUE(spec.nvlink_connected(2, 3));
+  EXPECT_FALSE(spec.nvlink_connected(1, 2));
+  EXPECT_FALSE(spec.nvlink_connected(0, 3));
+  EXPECT_FALSE(spec.nvlink_connected(0, 0));
+}
+
+TEST(ClusterTest, RankMappingOnPaperTestbed) {
+  sim::Simulator sim;
+  Cluster cluster(sim, topology::paper_testbed());
+  EXPECT_EQ(cluster.instance_count(), 6);
+  EXPECT_EQ(cluster.world_size(), 24);
+  EXPECT_EQ(cluster.instance_of_rank(0), 0);
+  EXPECT_EQ(cluster.instance_of_rank(15), 3);
+  EXPECT_EQ(cluster.instance_of_rank(16), 4);  // first V100 server
+  EXPECT_EQ(cluster.local_index(17), 1);
+  EXPECT_EQ(cluster.gpu_kind(0), GpuKind::kA100);
+  EXPECT_EQ(cluster.gpu_kind(23), GpuKind::kV100);
+  EXPECT_EQ(cluster.ranks_on_instance(5), (std::vector<int>{20, 21, 22, 23}));
+  EXPECT_THROW(cluster.instance_of_rank(24), std::out_of_range);
+}
+
+TEST(ClusterTest, EdgeExistenceRules) {
+  sim::Simulator sim;
+  Cluster cluster(sim, topology::heter_testbed());
+  // Same-instance GPUs are connected; cross-instance GPU pairs get the
+  // composite network edge (staging through both NICs).
+  EXPECT_TRUE(cluster.has_edge(NodeId::gpu(0), NodeId::gpu(1)));
+  EXPECT_TRUE(cluster.has_edge(NodeId::gpu(0), NodeId::gpu(4)));
+  EXPECT_EQ(cluster.edge_type(NodeId::gpu(0), NodeId::gpu(4)), EdgeType::kNetwork);
+  // The composite path crosses both NICs and the PCIe staging links.
+  EXPECT_EQ(cluster.edge_path(NodeId::gpu(0), NodeId::gpu(4)).size(), 4u);
+  // GPU to its own NIC only.
+  EXPECT_TRUE(cluster.has_edge(NodeId::gpu(0), NodeId::nic(0)));
+  EXPECT_FALSE(cluster.has_edge(NodeId::gpu(0), NodeId::nic(1)));
+  // NIC full mesh, no self loops.
+  EXPECT_TRUE(cluster.has_edge(NodeId::nic(0), NodeId::nic(3)));
+  EXPECT_FALSE(cluster.has_edge(NodeId::nic(2), NodeId::nic(2)));
+  EXPECT_FALSE(cluster.has_edge(NodeId::gpu(3), NodeId::gpu(3)));
+}
+
+TEST(ClusterTest, EdgeTypesMatchWiring) {
+  sim::Simulator sim;
+  std::vector<InstanceSpec> specs{topology::fragmented_a100_server("s0"),
+                                  topology::a100_server("s1")};
+  Cluster cluster(sim, std::move(specs));
+  EXPECT_EQ(cluster.edge_type(NodeId::gpu(0), NodeId::gpu(1)), EdgeType::kNvlink);
+  EXPECT_EQ(cluster.edge_type(NodeId::gpu(1), NodeId::gpu(2)), EdgeType::kPcie);
+  EXPECT_EQ(cluster.edge_type(NodeId::gpu(0), NodeId::nic(0)), EdgeType::kPcie);
+  EXPECT_EQ(cluster.edge_type(NodeId::nic(0), NodeId::nic(1)), EdgeType::kNetwork);
+}
+
+TEST(ClusterTest, GroundTruthBandwidths) {
+  sim::Simulator sim;
+  Cluster cluster(sim, topology::paper_testbed());
+  // NVLink on A100 servers.
+  EXPECT_DOUBLE_EQ(cluster.true_bandwidth(NodeId::gpu(0), NodeId::gpu(1)),
+                   topology::nvlink_bandwidth(GpuKind::kA100));
+  // Network edge A100->V100 bottlenecked by the 50 Gbps NIC.
+  EXPECT_DOUBLE_EQ(cluster.true_bandwidth(NodeId::nic(0), NodeId::nic(4)), gbps(50));
+  // A100<->A100 gets the full 100 Gbps.
+  EXPECT_DOUBLE_EQ(cluster.true_bandwidth(NodeId::nic(0), NodeId::nic(1)), gbps(100));
+}
+
+TEST(ClusterTest, TcpPerStreamCapAppearsInPath) {
+  sim::Simulator sim;
+  Cluster cluster(sim, topology::homo_testbed(topology::NetworkStack::kTcp));
+  EXPECT_DOUBLE_EQ(cluster.true_bandwidth(NodeId::nic(0), NodeId::nic(1)), gbps(20));
+}
+
+TEST(ClusterTest, NicShapingAffectsCapacity) {
+  sim::Simulator sim;
+  Cluster cluster(sim, topology::homo_testbed());
+  EXPECT_DOUBLE_EQ(cluster.nic_capacity(0), gbps(100));
+  cluster.set_nic_capacity_fraction(0, 0.66);
+  EXPECT_DOUBLE_EQ(cluster.nic_capacity(0), gbps(66));
+  cluster.set_nic_capacity_fraction(0, 1.0);
+  EXPECT_DOUBLE_EQ(cluster.nic_capacity(0), gbps(100));
+  EXPECT_THROW(cluster.set_nic_capacity_fraction(0, 0.0), std::invalid_argument);
+}
+
+TEST(ClusterTest, AllEdgesConsistentWithHasEdge) {
+  sim::Simulator sim;
+  Cluster cluster(sim, topology::heter_testbed());
+  const auto edges = cluster.all_edges();
+  for (const auto& [a, b] : edges) EXPECT_TRUE(cluster.has_edge(a, b));
+  // 4 instances x (4x3 intra GPU pairs + 4x2 GPU-NIC) + 4x3 NIC mesh
+  // + 16x12 composite cross-instance GPU pairs.
+  EXPECT_EQ(edges.size(), 4u * 12 + 4u * 8 + 12 + 16u * 12);
+}
+
+// --- Detector ---------------------------------------------------------------
+
+class DetectorTest : public ::testing::Test {
+ protected:
+  DetectionResult detect(std::vector<InstanceSpec> specs) {
+    sim_ = std::make_unique<sim::Simulator>();
+    cluster_ = std::make_unique<Cluster>(*sim_, std::move(specs));
+    Detector detector(*cluster_, util::Rng(123));
+    return detector.detect();
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(DetectorTest, RecoversNicNumaAffinity) {
+  const auto result = detect(topology::paper_testbed());
+  for (const auto& inst : result.instances) {
+    EXPECT_EQ(inst.nic_numa_node, cluster_->instance(inst.instance).nic.numa_node)
+        << "instance " << inst.instance;
+  }
+}
+
+TEST_F(DetectorTest, RecoversPcieSwitchGroups) {
+  const auto result = detect(topology::heter_testbed());
+  for (const auto& inst : result.instances) {
+    const auto& spec = cluster_->instance(inst.instance);
+    for (int a = 0; a < spec.gpu_count; ++a) {
+      for (int b = 0; b < spec.gpu_count; ++b) {
+        const bool same_detected = inst.switch_group_of[static_cast<std::size_t>(a)] ==
+                                   inst.switch_group_of[static_cast<std::size_t>(b)];
+        const bool same_truth = spec.switch_of_gpu(a) == spec.switch_of_gpu(b);
+        EXPECT_EQ(same_detected, same_truth)
+            << "instance " << inst.instance << " pair " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST_F(DetectorTest, RecoversNicLocality) {
+  const auto result = detect(topology::paper_testbed());
+  for (const auto& inst : result.instances) {
+    const auto& spec = cluster_->instance(inst.instance);
+    // The detected NIC group must be the group of a GPU on the NIC's switch.
+    int expected_group = -1;
+    for (int g = 0; g < spec.gpu_count; ++g) {
+      if (spec.switch_of_gpu(g) == spec.nic_pcie_switch) {
+        expected_group = inst.switch_group_of[static_cast<std::size_t>(g)];
+        break;
+      }
+    }
+    EXPECT_EQ(inst.nic_switch_group, expected_group) << "instance " << inst.instance;
+  }
+}
+
+TEST_F(DetectorTest, RecoversNvlinkAdjacency) {
+  std::vector<InstanceSpec> specs{topology::fragmented_a100_server("frag"),
+                                  topology::a100_server("full")};
+  const auto result = detect(std::move(specs));
+  // Fragmented server: only (0,1) and (2,3) wired.
+  const auto& frag = result.instances[0];
+  EXPECT_TRUE(frag.nvlink[0][1]);
+  EXPECT_TRUE(frag.nvlink[2][3]);
+  EXPECT_FALSE(frag.nvlink[1][2]);
+  EXPECT_FALSE(frag.nvlink[0][3]);
+  // Full server: everything wired.
+  const auto& full = result.instances[1];
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a != b) EXPECT_TRUE(full.nvlink[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]);
+    }
+  }
+}
+
+TEST_F(DetectorTest, DetectionTimeIsSubSecondPerInstance) {
+  const auto result = detect(topology::homo_testbed());
+  // The paper reports ~1.2 s for topology inference, constant in job scale
+  // because instances probe concurrently.
+  EXPECT_GT(result.total_time, 0.0);
+  EXPECT_LT(result.total_time, 5.0);
+}
+
+TEST_F(DetectorTest, LogicalTopologyHasAllNodes) {
+  const auto result = detect(topology::heter_testbed());
+  const LogicalTopology topo = Detector::build_logical_topology(*cluster_, result);
+  EXPECT_EQ(topo.gpu_nodes().size(), 16u);
+  EXPECT_EQ(topo.nic_nodes().size(), 4u);
+  // NVLink edges detected on a fully wired server.
+  EXPECT_EQ(topo.edge(NodeId::gpu(0), NodeId::gpu(1)).type, EdgeType::kNvlink);
+  // NIC mesh present.
+  EXPECT_TRUE(topo.has_edge(NodeId::nic(0), NodeId::nic(3)));
+  EXPECT_FALSE(topo.has_edge(NodeId::nic(1), NodeId::nic(1)));
+  // Cross-instance GPU pairs have composite network edges.
+  EXPECT_TRUE(topo.has_edge(NodeId::gpu(0), NodeId::gpu(4)));
+  EXPECT_EQ(topo.edge(NodeId::gpu(0), NodeId::gpu(4)).type, EdgeType::kNetwork);
+}
+
+TEST(LogicalTopologyTest, RejectsDuplicateEdges) {
+  LogicalTopology topo;
+  topo.add_edge({NodeId::gpu(0), NodeId::gpu(1), EdgeType::kNvlink});
+  EXPECT_THROW(topo.add_edge({NodeId::gpu(0), NodeId::gpu(1), EdgeType::kPcie}),
+               std::invalid_argument);
+}
+
+TEST(LogicalTopologyTest, EdgeCostModel) {
+  topology::LogicalEdge edge;
+  edge.alpha = microseconds(10);
+  edge.beta = 1.0 / gbps(100);
+  EXPECT_NEAR(edge.transfer_time(megabytes(125)), 10e-6 + 0.01, 1e-9);
+  EXPECT_NEAR(edge.bandwidth(), gbps(100), 1e-3);
+}
+
+TEST(LogicalTopologyTest, OutAndInEdges) {
+  LogicalTopology topo;
+  topo.add_edge({NodeId::gpu(0), NodeId::gpu(1), EdgeType::kNvlink});
+  topo.add_edge({NodeId::gpu(0), NodeId::gpu(2), EdgeType::kNvlink});
+  topo.add_edge({NodeId::gpu(1), NodeId::gpu(0), EdgeType::kNvlink});
+  EXPECT_EQ(topo.out_edges(NodeId::gpu(0)).size(), 2u);
+  EXPECT_EQ(topo.in_edges(NodeId::gpu(0)).size(), 1u);
+  EXPECT_EQ(topo.nodes().size(), 3u);
+}
+
+}  // namespace
+}  // namespace adapcc

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/backend.h"
+#include "runtime/adapcc.h"
+#include "topology/testbeds.h"
+#include "training/compute_model.h"
+#include "training/model_spec.h"
+#include "training/synthetic_sgd.h"
+#include "training/trainer.h"
+#include "util/stats.h"
+
+namespace adapcc {
+namespace {
+
+using topology::GpuKind;
+using training::AggregationMode;
+using training::ComputeModel;
+using training::ModelSpec;
+using training::Trainer;
+using training::TrainerConfig;
+
+TEST(ModelSpecTest, PaperSizes) {
+  EXPECT_EQ(training::vgg16().tensor_bytes, megabytes(528));
+  EXPECT_EQ(training::gpt2().tensor_bytes, megabytes(475));
+  EXPECT_EQ(training::vit().tensor_bytes, megabytes(208));
+  EXPECT_EQ(training::moe().tensor_bytes, megabytes(512));
+  EXPECT_EQ(training::moe().primitive, collective::Primitive::kAllToAll);
+  EXPECT_EQ(training::gpt2().default_local_batch, 16);
+}
+
+class ComputeModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim_ = std::make_unique<sim::Simulator>();
+    cluster_ = std::make_unique<topology::Cluster>(*sim_, topology::heter_testbed());
+  }
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<topology::Cluster> cluster_;
+};
+
+TEST_F(ComputeModelTest, V100BatchDependentPartTwiceA100s) {
+  ComputeModel model(*cluster_, training::gpt2(), util::Rng(1));
+  // Rank 0 = A100, rank 8 = V100. The fixed overhead is GPU-independent;
+  // the batch-dependent part scales with compute capability (2x).
+  const double fixed = training::gpt2().fixed_overhead_seconds;
+  EXPECT_NEAR(model.mean_iteration_time(8, 16) - fixed,
+              2.0 * (model.mean_iteration_time(0, 16) - fixed), 1e-12);
+  EXPECT_GT(model.mean_iteration_time(8, 16), model.mean_iteration_time(0, 16));
+}
+
+TEST_F(ComputeModelTest, MarginalTimeScalesLinearlyWithBatch) {
+  ComputeModel model(*cluster_, training::vit(), util::Rng(1));
+  // Linear marginal cost per sample; the gap between GPU generations grows
+  // with batch size (the Sec. II-C observation behind Figs. 16-17).
+  const double m128 = model.mean_iteration_time(0, 256) - model.mean_iteration_time(0, 128);
+  const double m384 = model.mean_iteration_time(0, 384) - model.mean_iteration_time(0, 256);
+  EXPECT_NEAR(m128, m384, 1e-12);
+  const double gap_small =
+      model.mean_iteration_time(8, 64) - model.mean_iteration_time(0, 64);
+  const double gap_large =
+      model.mean_iteration_time(8, 256) - model.mean_iteration_time(0, 256);
+  EXPECT_GT(gap_large, 2.0 * gap_small);
+}
+
+TEST_F(ComputeModelTest, JitterIsModest) {
+  ComputeModel model(*cluster_, training::gpt2(), util::Rng(2));
+  const double mean = model.mean_iteration_time(0, 16);
+  for (int i = 0; i < 300; ++i) {
+    const double t = model.sample_iteration_time(0, 16);
+    EXPECT_GT(t, 0.6 * mean);
+    EXPECT_LT(t, 1.6 * mean);
+  }
+}
+
+TEST_F(ComputeModelTest, InterferenceSlowsWorker) {
+  ComputeModel model(*cluster_, training::gpt2(), util::Rng(3));
+  model.set_interference(2, training::interference_slowdown(400.0));
+  EXPECT_GT(model.sample_iteration_time(2, 16), model.mean_iteration_time(2, 16) * 1.3);
+  model.clear_interference();
+  EXPECT_DOUBLE_EQ(model.interference(2), 1.0);
+  EXPECT_THROW(model.set_interference(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(training::interference_slowdown(-1), std::invalid_argument);
+}
+
+// --- Trainer ------------------------------------------------------------------
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  void build(std::vector<topology::InstanceSpec> specs) {
+    sim_ = std::make_unique<sim::Simulator>();
+    cluster_ = std::make_unique<topology::Cluster>(*sim_, std::move(specs));
+  }
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<topology::Cluster> cluster_;
+};
+
+TEST_F(TrainerTest, AdapccTrainingRunsAndRecordsStats) {
+  build(topology::heter_testbed());
+  runtime::Adapcc adapcc(*cluster_);
+  adapcc.init();
+  adapcc.setup();
+  TrainerConfig config;
+  config.iterations = 10;
+  config.batch_per_gpu = 16;
+  Trainer trainer(*cluster_, ComputeModel(*cluster_, training::gpt2(), util::Rng(4)), config);
+  const auto stats = trainer.train_with_adapcc(adapcc);
+  ASSERT_EQ(stats.iterations.size(), 10u);
+  EXPECT_GT(stats.makespan, 0.0);
+  EXPECT_GT(stats.mean_iteration_time(), 0.0);
+  EXPECT_GT(stats.throughput(16 * 16), 0.0);
+  for (const auto& iter : stats.iterations) {
+    EXPECT_GT(iter.compute_max, iter.compute_min);
+    EXPECT_GE(iter.iteration_time, iter.compute_max);
+  }
+}
+
+TEST_F(TrainerTest, HeterogeneousStragglersTriggerRelays) {
+  build(topology::heter_testbed());
+  runtime::Adapcc adapcc(*cluster_);
+  adapcc.init();
+  adapcc.setup();
+  TrainerConfig config;
+  config.iterations = 20;
+  config.batch_per_gpu = 64;  // large batch -> V100s straggle hard
+  Trainer trainer(*cluster_, ComputeModel(*cluster_, training::gpt2(), util::Rng(5)), config);
+  const auto stats = trainer.train_with_adapcc(adapcc);
+  EXPECT_GT(stats.partial_fraction(), 0.5);
+  // Relays should be predominantly the slow V100 ranks (8..15), Fig. 15.
+  int v100_relays = 0, a100_relays = 0;
+  for (const auto& [rank, count] : stats.relay_count) {
+    (rank >= 8 ? v100_relays : a100_relays) += count;
+  }
+  EXPECT_GT(v100_relays, a100_relays);
+}
+
+TEST_F(TrainerTest, AdapccBeatsWaitAllBaselineUnderInterference) {
+  // The regime where relay control pays off: a mostly homogeneous cluster
+  // with one severely interfered worker (a co-located CPU workload slowing
+  // its compute 2.5x). Wait-all stalls every iteration; AdapCC runs phase 1
+  // without the straggler and merges its tensor in phase 2.
+  TrainerConfig config;
+  config.iterations = 12;
+  config.batch_per_gpu = 16;
+
+  build(topology::homo_testbed());
+  runtime::Adapcc adapcc(*cluster_);
+  adapcc.init();
+  adapcc.setup();
+  ComputeModel adaptive_compute(*cluster_, training::gpt2(), util::Rng(6));
+  adaptive_compute.set_interference(5, 2.5);
+  Trainer adapcc_trainer(*cluster_, std::move(adaptive_compute), config);
+  const auto adaptive = adapcc_trainer.train_with_adapcc(adapcc);
+  EXPECT_GT(adaptive.partial_fraction(), 0.5);
+
+  build(topology::homo_testbed());  // fresh simulator for a fair run
+  baselines::NcclBackend nccl(*cluster_);
+  ComputeModel baseline_compute(*cluster_, training::gpt2(), util::Rng(6));
+  baseline_compute.set_interference(5, 2.5);
+  Trainer nccl_trainer(*cluster_, std::move(baseline_compute), config);
+  const auto baseline = nccl_trainer.train_with_backend(nccl);
+
+  EXPECT_LT(adaptive.mean_iteration_time(), baseline.mean_iteration_time());
+}
+
+TEST_F(TrainerTest, WaitRatiosHigherOnHeterogeneousCluster) {
+  // Fig. 3b: the wait-time ratio is markedly larger in the heterogeneous
+  // setting than in the homogeneous one.
+  TrainerConfig config;
+  config.iterations = 30;
+  config.batch_per_gpu = 16;
+
+  build(topology::heter_testbed());
+  baselines::NcclBackend nccl_heter(*cluster_);
+  Trainer heter_trainer(*cluster_, ComputeModel(*cluster_, training::gpt2(), util::Rng(7)),
+                        config);
+  const auto heter = heter_trainer.train_with_backend(nccl_heter);
+
+  build(topology::homo_testbed());
+  baselines::NcclBackend nccl_homo(*cluster_);
+  Trainer homo_trainer(*cluster_, ComputeModel(*cluster_, training::gpt2(), util::Rng(7)),
+                       config);
+  const auto homo = homo_trainer.train_with_backend(nccl_homo);
+
+  const double heter_median = util::percentile(heter.wait_ratios(), 0.5);
+  const double homo_median = util::percentile(homo.wait_ratios(), 0.5);
+  EXPECT_GT(heter_median, homo_median);
+  EXPECT_GT(heter_median, 0.2);  // paper: >23% in half the iterations
+}
+
+TEST_F(TrainerTest, MoeUsesAllToAll) {
+  build(topology::homo_testbed());
+  runtime::Adapcc adapcc(*cluster_);
+  adapcc.init();
+  adapcc.setup();
+  TrainerConfig config;
+  config.iterations = 5;
+  config.batch_per_gpu = 128;
+  Trainer trainer(*cluster_, ComputeModel(*cluster_, training::moe(), util::Rng(8)), config);
+  const auto stats = trainer.train_with_adapcc(adapcc);
+  EXPECT_EQ(stats.iterations.size(), 5u);
+  EXPECT_DOUBLE_EQ(stats.partial_fraction(), 0.0);  // AllToAll: no relay mode
+}
+
+// --- Synthetic SGD (Fig. 19b) ---------------------------------------------------
+
+class SgdTest : public ::testing::Test {
+ protected:
+  training::SgdConfig fast_config() {
+    training::SgdConfig config;
+    config.train_samples = 20000;
+    config.test_samples = 4000;
+    config.iterations = 150;
+    config.eval_every = 25;
+    return config;
+  }
+};
+
+TEST_F(SgdTest, FullSyncLearns) {
+  const auto curve = training::train_synthetic_sgd(AggregationMode::kFullSync, fast_config());
+  ASSERT_GE(curve.accuracy.size(), 2u);
+  EXPECT_GT(curve.final_accuracy(), 0.70);  // far above the 10% random baseline
+  EXPECT_GT(curve.final_accuracy(), curve.accuracy.front());
+}
+
+TEST_F(SgdTest, AdapccPhase12MatchesFullSync) {
+  const auto config = fast_config();
+  const auto full = training::train_synthetic_sgd(AggregationMode::kFullSync, config);
+  const auto adapcc = training::train_synthetic_sgd(AggregationMode::kPhase1Phase2, config);
+  // Same sums in a different order: accuracy curves coincide within float
+  // rounding noise (the paper's "consistent accuracy as NCCL").
+  ASSERT_EQ(full.accuracy.size(), adapcc.accuracy.size());
+  for (std::size_t i = 0; i < full.accuracy.size(); ++i) {
+    EXPECT_NEAR(full.accuracy[i], adapcc.accuracy[i], 0.02) << "eval point " << i;
+  }
+}
+
+TEST_F(SgdTest, ShuffledOrderMatchesFullSync) {
+  const auto config = fast_config();
+  const auto full = training::train_synthetic_sgd(AggregationMode::kFullSync, config);
+  const auto shuffled = training::train_synthetic_sgd(AggregationMode::kShuffledOrder, config);
+  EXPECT_NEAR(full.final_accuracy(), shuffled.final_accuracy(), 0.03);
+}
+
+TEST_F(SgdTest, RelayAsyncConvergesWorse) {
+  const auto config = fast_config();
+  const auto full = training::train_synthetic_sgd(AggregationMode::kFullSync, config);
+  const auto async = training::train_synthetic_sgd(AggregationMode::kRelayAsync, config);
+  EXPECT_LT(async.final_accuracy(), full.final_accuracy() - 0.01);
+}
+
+TEST_F(SgdTest, DeterministicForSeed) {
+  const auto config = fast_config();
+  const auto a = training::train_synthetic_sgd(AggregationMode::kFullSync, config);
+  const auto b = training::train_synthetic_sgd(AggregationMode::kFullSync, config);
+  ASSERT_EQ(a.accuracy.size(), b.accuracy.size());
+  for (std::size_t i = 0; i < a.accuracy.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.accuracy[i], b.accuracy[i]);
+  }
+}
+
+}  // namespace
+}  // namespace adapcc

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/units.h"
+#include "util/xml.h"
+
+namespace adapcc {
+namespace {
+
+using util::Rng;
+using util::RunningStats;
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(1_MiB, 1024u * 1024u);
+  EXPECT_DOUBLE_EQ(gbps(100), 12.5e9);
+  EXPECT_DOUBLE_EQ(gBps(300), 300e9);
+  EXPECT_EQ(megabytes(528.0), 528000000u);
+  EXPECT_DOUBLE_EQ(microseconds(5), 5e-6);
+}
+
+TEST(Units, AlgoBandwidth) {
+  // 256 MB in 0.1 s -> 2.56 GB/s, matching the Sec. VI-C definition.
+  EXPECT_NEAR(algo_bandwidth_gbps(megabytes(256), 0.1), 2.56, 1e-12);
+  EXPECT_EQ(algo_bandwidth_gbps(megabytes(256), 0.0), 0.0);
+}
+
+TEST(RunningStatsTest, MomentsMatchClosedForm) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(Percentile, InterpolatesBetweenSamples) {
+  const std::vector<double> samples{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(util::percentile(samples, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(util::percentile(samples, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(util::percentile(samples, 0.5), 25.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(util::percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(util::percentile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(GeometricMean, MatchesHandComputation) {
+  EXPECT_NEAR(util::geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(util::geometric_mean({1.06, 1.23}), std::sqrt(1.06 * 1.23), 1e-12);
+  EXPECT_THROW(util::geometric_mean({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, IsMonotone) {
+  std::vector<double> samples;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.uniform(0, 100));
+  const auto cdf = util::empirical_cdf(samples, 50);
+  ASSERT_EQ(cdf.size(), 50u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(FitLine, RecoversExactLine) {
+  // t = alpha + beta * s with alpha=5us, beta = 1/(10 GB/s).
+  const double alpha = 5e-6;
+  const double beta = 1e-10;
+  std::vector<double> sizes, times;
+  for (const double s : {1e6, 2e6, 8e6, 32e6}) {
+    sizes.push_back(s);
+    times.push_back(alpha + beta * s);
+  }
+  const auto fit = util::fit_line(sizes, times);
+  EXPECT_NEAR(fit.intercept, alpha, 1e-12);
+  EXPECT_NEAR(fit.slope, beta, 1e-16);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(FitLine, ToleratesNoise) {
+  Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 1; i <= 100; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i + rng.normal(0, 0.1));
+  }
+  const auto fit = util::fit_line(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 0.2);
+  EXPECT_NEAR(fit.slope, 2.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+  EXPECT_THROW(util::fit_line({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(util::fit_line({1.0, 1.0}, {2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(42);
+  Rng child = a.fork();
+  // The fork must not replay the parent's stream.
+  Rng reference(42);
+  reference.engine()();  // parent consumed one draw for the fork
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    if (child.uniform(0, 1) != reference.uniform(0, 1)) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RngTest, NormalAtLeastClamps) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.normal_at_least(0.0, 10.0, 0.5), 0.5);
+}
+
+TEST(Xml, RoundTripsElementsAttributesText) {
+  util::XmlElement root("strategy");
+  root.set_attribute("primitive", std::string("allreduce"));
+  root.set_attribute("chunk_bytes", static_cast<long long>(4 * 1024 * 1024));
+  auto& flow = root.add_child("flow");
+  flow.set_attribute("src", std::string("gpu0"));
+  flow.set_attribute("beta", 1.25e-10);
+  flow.set_text("gpu0 nic0 nic1 gpu4");
+
+  const std::string doc = root.to_string();
+  const auto parsed = util::parse_xml(doc);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->name(), "strategy");
+  EXPECT_EQ(parsed->attribute("primitive"), "allreduce");
+  EXPECT_EQ(parsed->attribute_as_int("chunk_bytes"), 4 * 1024 * 1024);
+  const auto* parsed_flow = parsed->first_child("flow");
+  ASSERT_NE(parsed_flow, nullptr);
+  EXPECT_EQ(parsed_flow->attribute("src"), "gpu0");
+  EXPECT_DOUBLE_EQ(parsed_flow->attribute_as_double("beta"), 1.25e-10);
+  EXPECT_EQ(parsed_flow->text(), "gpu0 nic0 nic1 gpu4");
+}
+
+TEST(Xml, EscapesSpecialCharacters) {
+  util::XmlElement root("e");
+  root.set_attribute("v", std::string("a<b&\"c\">"));
+  root.set_text("x < y & z");
+  const auto parsed = util::parse_xml(root.to_string());
+  EXPECT_EQ(parsed->attribute("v"), "a<b&\"c\">");
+  EXPECT_EQ(parsed->text(), "x < y & z");
+}
+
+TEST(Xml, ParsesNestedStructure) {
+  const auto parsed = util::parse_xml(R"(<?xml version="1.0"?>
+    <a><b k="1"/><b k="2"><c/></b></a>)");
+  EXPECT_EQ(parsed->name(), "a");
+  const auto bs = parsed->children_named("b");
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[0]->attribute("k"), "1");
+  EXPECT_NE(bs[1]->first_child("c"), nullptr);
+}
+
+TEST(Xml, RejectsMalformedDocuments) {
+  EXPECT_THROW(util::parse_xml("<a><b></a></b>"), std::runtime_error);
+  EXPECT_THROW(util::parse_xml("<a>"), std::runtime_error);
+  EXPECT_THROW(util::parse_xml("<a/><b/>"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adapcc
