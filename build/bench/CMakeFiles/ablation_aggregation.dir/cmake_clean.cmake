@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aggregation.dir/ablation_aggregation.cpp.o"
+  "CMakeFiles/ablation_aggregation.dir/ablation_aggregation.cpp.o.d"
+  "ablation_aggregation"
+  "ablation_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fragmented.dir/ablation_fragmented.cpp.o"
+  "CMakeFiles/ablation_fragmented.dir/ablation_fragmented.cpp.o.d"
+  "ablation_fragmented"
+  "ablation_fragmented.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fragmented.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_fidelity.dir/ablation_model_fidelity.cpp.o"
+  "CMakeFiles/ablation_model_fidelity.dir/ablation_model_fidelity.cpp.o.d"
+  "ablation_model_fidelity"
+  "ablation_model_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_relay_policy.dir/ablation_relay_policy.cpp.o"
+  "CMakeFiles/ablation_relay_policy.dir/ablation_relay_policy.cpp.o.d"
+  "ablation_relay_policy"
+  "ablation_relay_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_relay_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_cloud_trace.dir/fig01_cloud_trace.cpp.o"
+  "CMakeFiles/fig01_cloud_trace.dir/fig01_cloud_trace.cpp.o.d"
+  "fig01_cloud_trace"
+  "fig01_cloud_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_cloud_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

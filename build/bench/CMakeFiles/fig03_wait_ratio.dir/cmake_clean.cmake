@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_wait_ratio.dir/fig03_wait_ratio.cpp.o"
+  "CMakeFiles/fig03_wait_ratio.dir/fig03_wait_ratio.cpp.o.d"
+  "fig03_wait_ratio"
+  "fig03_wait_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_wait_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

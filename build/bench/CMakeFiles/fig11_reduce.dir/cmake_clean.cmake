@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_reduce.dir/fig11_reduce.cpp.o"
+  "CMakeFiles/fig11_reduce.dir/fig11_reduce.cpp.o.d"
+  "fig11_reduce"
+  "fig11_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

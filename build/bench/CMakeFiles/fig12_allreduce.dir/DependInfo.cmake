@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_allreduce.cpp" "bench/CMakeFiles/fig12_allreduce.dir/fig12_allreduce.cpp.o" "gcc" "bench/CMakeFiles/fig12_allreduce.dir/fig12_allreduce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/adapcc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/training/CMakeFiles/adapcc_training.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/adapcc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/relay/CMakeFiles/adapcc_relay.dir/DependInfo.cmake"
+  "/root/repo/build/src/synthesizer/CMakeFiles/adapcc_synthesizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/adapcc_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/adapcc_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/adapcc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adapcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adapcc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

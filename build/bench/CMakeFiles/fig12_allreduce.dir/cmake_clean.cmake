@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_allreduce.dir/fig12_allreduce.cpp.o"
+  "CMakeFiles/fig12_allreduce.dir/fig12_allreduce.cpp.o.d"
+  "fig12_allreduce"
+  "fig12_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_alltoall.dir/fig13_alltoall.cpp.o"
+  "CMakeFiles/fig13_alltoall.dir/fig13_alltoall.cpp.o.d"
+  "fig13_alltoall"
+  "fig13_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_training_comm.dir/fig14_training_comm.cpp.o"
+  "CMakeFiles/fig14_training_comm.dir/fig14_training_comm.cpp.o.d"
+  "fig14_training_comm"
+  "fig14_training_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_training_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_relay_prob.dir/fig15_relay_prob.cpp.o"
+  "CMakeFiles/fig15_relay_prob.dir/fig15_relay_prob.cpp.o.d"
+  "fig15_relay_prob"
+  "fig15_relay_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_relay_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_gpt2_batch.dir/fig16_gpt2_batch.cpp.o"
+  "CMakeFiles/fig16_gpt2_batch.dir/fig16_gpt2_batch.cpp.o.d"
+  "fig16_gpt2_batch"
+  "fig16_gpt2_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_gpt2_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_vit_batch.dir/fig17_vit_batch.cpp.o"
+  "CMakeFiles/fig17_vit_batch.dir/fig17_vit_batch.cpp.o.d"
+  "fig17_vit_batch"
+  "fig17_vit_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_vit_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

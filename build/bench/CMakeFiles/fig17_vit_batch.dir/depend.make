@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_vit_batch.
+# This may be replaced when dependencies are built.

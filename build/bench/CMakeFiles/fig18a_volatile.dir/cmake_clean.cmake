@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18a_volatile.dir/fig18a_volatile.cpp.o"
+  "CMakeFiles/fig18a_volatile.dir/fig18a_volatile.cpp.o.d"
+  "fig18a_volatile"
+  "fig18a_volatile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18a_volatile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18a_volatile.
+# This may be replaced when dependencies are built.

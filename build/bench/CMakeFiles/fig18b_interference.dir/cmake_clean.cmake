@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18b_interference.dir/fig18b_interference.cpp.o"
+  "CMakeFiles/fig18b_interference.dir/fig18b_interference.cpp.o.d"
+  "fig18b_interference"
+  "fig18b_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18b_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19a_parallelism.dir/fig19a_parallelism.cpp.o"
+  "CMakeFiles/fig19a_parallelism.dir/fig19a_parallelism.cpp.o.d"
+  "fig19a_parallelism"
+  "fig19a_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19a_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19b_accuracy.dir/fig19b_accuracy.cpp.o"
+  "CMakeFiles/fig19b_accuracy.dir/fig19b_accuracy.cpp.o.d"
+  "fig19b_accuracy"
+  "fig19b_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19b_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19c_reconstruction.dir/fig19c_reconstruction.cpp.o"
+  "CMakeFiles/fig19c_reconstruction.dir/fig19c_reconstruction.cpp.o.d"
+  "fig19c_reconstruction"
+  "fig19c_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19c_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19d_rpc.dir/fig19d_rpc.cpp.o"
+  "CMakeFiles/fig19d_rpc.dir/fig19d_rpc.cpp.o.d"
+  "fig19d_rpc"
+  "fig19d_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19d_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

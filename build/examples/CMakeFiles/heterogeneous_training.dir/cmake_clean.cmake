@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_training.dir/heterogeneous_training.cpp.o"
+  "CMakeFiles/heterogeneous_training.dir/heterogeneous_training.cpp.o.d"
+  "heterogeneous_training"
+  "heterogeneous_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

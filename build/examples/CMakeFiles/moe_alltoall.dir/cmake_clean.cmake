@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_alltoall.dir/moe_alltoall.cpp.o"
+  "CMakeFiles/moe_alltoall.dir/moe_alltoall.cpp.o.d"
+  "moe_alltoall"
+  "moe_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volatile_network.dir/volatile_network.cpp.o"
+  "CMakeFiles/volatile_network.dir/volatile_network.cpp.o.d"
+  "volatile_network"
+  "volatile_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volatile_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapcc_baselines.dir/backend.cpp.o"
+  "CMakeFiles/adapcc_baselines.dir/backend.cpp.o.d"
+  "libadapcc_baselines.a"
+  "libadapcc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapcc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

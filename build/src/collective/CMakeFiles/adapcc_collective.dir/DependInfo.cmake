@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collective/behavior.cpp" "src/collective/CMakeFiles/adapcc_collective.dir/behavior.cpp.o" "gcc" "src/collective/CMakeFiles/adapcc_collective.dir/behavior.cpp.o.d"
+  "/root/repo/src/collective/builders.cpp" "src/collective/CMakeFiles/adapcc_collective.dir/builders.cpp.o" "gcc" "src/collective/CMakeFiles/adapcc_collective.dir/builders.cpp.o.d"
+  "/root/repo/src/collective/codegen.cpp" "src/collective/CMakeFiles/adapcc_collective.dir/codegen.cpp.o" "gcc" "src/collective/CMakeFiles/adapcc_collective.dir/codegen.cpp.o.d"
+  "/root/repo/src/collective/comm_graph.cpp" "src/collective/CMakeFiles/adapcc_collective.dir/comm_graph.cpp.o" "gcc" "src/collective/CMakeFiles/adapcc_collective.dir/comm_graph.cpp.o.d"
+  "/root/repo/src/collective/executor.cpp" "src/collective/CMakeFiles/adapcc_collective.dir/executor.cpp.o" "gcc" "src/collective/CMakeFiles/adapcc_collective.dir/executor.cpp.o.d"
+  "/root/repo/src/collective/primitive.cpp" "src/collective/CMakeFiles/adapcc_collective.dir/primitive.cpp.o" "gcc" "src/collective/CMakeFiles/adapcc_collective.dir/primitive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/adapcc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adapcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adapcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapcc_collective.dir/behavior.cpp.o"
+  "CMakeFiles/adapcc_collective.dir/behavior.cpp.o.d"
+  "CMakeFiles/adapcc_collective.dir/builders.cpp.o"
+  "CMakeFiles/adapcc_collective.dir/builders.cpp.o.d"
+  "CMakeFiles/adapcc_collective.dir/codegen.cpp.o"
+  "CMakeFiles/adapcc_collective.dir/codegen.cpp.o.d"
+  "CMakeFiles/adapcc_collective.dir/comm_graph.cpp.o"
+  "CMakeFiles/adapcc_collective.dir/comm_graph.cpp.o.d"
+  "CMakeFiles/adapcc_collective.dir/executor.cpp.o"
+  "CMakeFiles/adapcc_collective.dir/executor.cpp.o.d"
+  "CMakeFiles/adapcc_collective.dir/primitive.cpp.o"
+  "CMakeFiles/adapcc_collective.dir/primitive.cpp.o.d"
+  "libadapcc_collective.a"
+  "libadapcc_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapcc_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/alpha_beta.cpp" "src/profiler/CMakeFiles/adapcc_profiler.dir/alpha_beta.cpp.o" "gcc" "src/profiler/CMakeFiles/adapcc_profiler.dir/alpha_beta.cpp.o.d"
+  "/root/repo/src/profiler/profiler.cpp" "src/profiler/CMakeFiles/adapcc_profiler.dir/profiler.cpp.o" "gcc" "src/profiler/CMakeFiles/adapcc_profiler.dir/profiler.cpp.o.d"
+  "/root/repo/src/profiler/trace.cpp" "src/profiler/CMakeFiles/adapcc_profiler.dir/trace.cpp.o" "gcc" "src/profiler/CMakeFiles/adapcc_profiler.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/adapcc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adapcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adapcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapcc_profiler.dir/alpha_beta.cpp.o"
+  "CMakeFiles/adapcc_profiler.dir/alpha_beta.cpp.o.d"
+  "CMakeFiles/adapcc_profiler.dir/profiler.cpp.o"
+  "CMakeFiles/adapcc_profiler.dir/profiler.cpp.o.d"
+  "CMakeFiles/adapcc_profiler.dir/trace.cpp.o"
+  "CMakeFiles/adapcc_profiler.dir/trace.cpp.o.d"
+  "libadapcc_profiler.a"
+  "libadapcc_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapcc_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relay/coordinator.cpp" "src/relay/CMakeFiles/adapcc_relay.dir/coordinator.cpp.o" "gcc" "src/relay/CMakeFiles/adapcc_relay.dir/coordinator.cpp.o.d"
+  "/root/repo/src/relay/data_loader.cpp" "src/relay/CMakeFiles/adapcc_relay.dir/data_loader.cpp.o" "gcc" "src/relay/CMakeFiles/adapcc_relay.dir/data_loader.cpp.o.d"
+  "/root/repo/src/relay/relay_collective.cpp" "src/relay/CMakeFiles/adapcc_relay.dir/relay_collective.cpp.o" "gcc" "src/relay/CMakeFiles/adapcc_relay.dir/relay_collective.cpp.o.d"
+  "/root/repo/src/relay/rpc.cpp" "src/relay/CMakeFiles/adapcc_relay.dir/rpc.cpp.o" "gcc" "src/relay/CMakeFiles/adapcc_relay.dir/rpc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synthesizer/CMakeFiles/adapcc_synthesizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/adapcc_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/adapcc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adapcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adapcc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

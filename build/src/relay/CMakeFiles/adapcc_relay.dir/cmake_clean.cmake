@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapcc_relay.dir/coordinator.cpp.o"
+  "CMakeFiles/adapcc_relay.dir/coordinator.cpp.o.d"
+  "CMakeFiles/adapcc_relay.dir/data_loader.cpp.o"
+  "CMakeFiles/adapcc_relay.dir/data_loader.cpp.o.d"
+  "CMakeFiles/adapcc_relay.dir/relay_collective.cpp.o"
+  "CMakeFiles/adapcc_relay.dir/relay_collective.cpp.o.d"
+  "CMakeFiles/adapcc_relay.dir/rpc.cpp.o"
+  "CMakeFiles/adapcc_relay.dir/rpc.cpp.o.d"
+  "libadapcc_relay.a"
+  "libadapcc_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapcc_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

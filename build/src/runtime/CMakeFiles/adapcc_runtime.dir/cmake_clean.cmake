@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapcc_runtime.dir/adapcc.cpp.o"
+  "CMakeFiles/adapcc_runtime.dir/adapcc.cpp.o.d"
+  "CMakeFiles/adapcc_runtime.dir/ddp_hook.cpp.o"
+  "CMakeFiles/adapcc_runtime.dir/ddp_hook.cpp.o.d"
+  "CMakeFiles/adapcc_runtime.dir/work_queue.cpp.o"
+  "CMakeFiles/adapcc_runtime.dir/work_queue.cpp.o.d"
+  "libadapcc_runtime.a"
+  "libadapcc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapcc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapcc_sim.dir/edge_channel.cpp.o"
+  "CMakeFiles/adapcc_sim.dir/edge_channel.cpp.o.d"
+  "CMakeFiles/adapcc_sim.dir/flow_link.cpp.o"
+  "CMakeFiles/adapcc_sim.dir/flow_link.cpp.o.d"
+  "CMakeFiles/adapcc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/adapcc_sim.dir/simulator.cpp.o.d"
+  "libadapcc_sim.a"
+  "libadapcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapcc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

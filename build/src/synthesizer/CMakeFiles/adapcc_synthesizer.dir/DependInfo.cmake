@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synthesizer/cost_model.cpp" "src/synthesizer/CMakeFiles/adapcc_synthesizer.dir/cost_model.cpp.o" "gcc" "src/synthesizer/CMakeFiles/adapcc_synthesizer.dir/cost_model.cpp.o.d"
+  "/root/repo/src/synthesizer/synthesizer.cpp" "src/synthesizer/CMakeFiles/adapcc_synthesizer.dir/synthesizer.cpp.o" "gcc" "src/synthesizer/CMakeFiles/adapcc_synthesizer.dir/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collective/CMakeFiles/adapcc_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/adapcc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adapcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adapcc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapcc_synthesizer.dir/cost_model.cpp.o"
+  "CMakeFiles/adapcc_synthesizer.dir/cost_model.cpp.o.d"
+  "CMakeFiles/adapcc_synthesizer.dir/synthesizer.cpp.o"
+  "CMakeFiles/adapcc_synthesizer.dir/synthesizer.cpp.o.d"
+  "libadapcc_synthesizer.a"
+  "libadapcc_synthesizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapcc_synthesizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

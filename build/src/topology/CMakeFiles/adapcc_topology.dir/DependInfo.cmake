@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/cluster.cpp" "src/topology/CMakeFiles/adapcc_topology.dir/cluster.cpp.o" "gcc" "src/topology/CMakeFiles/adapcc_topology.dir/cluster.cpp.o.d"
+  "/root/repo/src/topology/detector.cpp" "src/topology/CMakeFiles/adapcc_topology.dir/detector.cpp.o" "gcc" "src/topology/CMakeFiles/adapcc_topology.dir/detector.cpp.o.d"
+  "/root/repo/src/topology/hardware.cpp" "src/topology/CMakeFiles/adapcc_topology.dir/hardware.cpp.o" "gcc" "src/topology/CMakeFiles/adapcc_topology.dir/hardware.cpp.o.d"
+  "/root/repo/src/topology/logical_topology.cpp" "src/topology/CMakeFiles/adapcc_topology.dir/logical_topology.cpp.o" "gcc" "src/topology/CMakeFiles/adapcc_topology.dir/logical_topology.cpp.o.d"
+  "/root/repo/src/topology/testbeds.cpp" "src/topology/CMakeFiles/adapcc_topology.dir/testbeds.cpp.o" "gcc" "src/topology/CMakeFiles/adapcc_topology.dir/testbeds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/adapcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adapcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapcc_topology.dir/cluster.cpp.o"
+  "CMakeFiles/adapcc_topology.dir/cluster.cpp.o.d"
+  "CMakeFiles/adapcc_topology.dir/detector.cpp.o"
+  "CMakeFiles/adapcc_topology.dir/detector.cpp.o.d"
+  "CMakeFiles/adapcc_topology.dir/hardware.cpp.o"
+  "CMakeFiles/adapcc_topology.dir/hardware.cpp.o.d"
+  "CMakeFiles/adapcc_topology.dir/logical_topology.cpp.o"
+  "CMakeFiles/adapcc_topology.dir/logical_topology.cpp.o.d"
+  "CMakeFiles/adapcc_topology.dir/testbeds.cpp.o"
+  "CMakeFiles/adapcc_topology.dir/testbeds.cpp.o.d"
+  "libadapcc_topology.a"
+  "libadapcc_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapcc_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapcc_training.dir/compute_model.cpp.o"
+  "CMakeFiles/adapcc_training.dir/compute_model.cpp.o.d"
+  "CMakeFiles/adapcc_training.dir/model_spec.cpp.o"
+  "CMakeFiles/adapcc_training.dir/model_spec.cpp.o.d"
+  "CMakeFiles/adapcc_training.dir/synthetic_sgd.cpp.o"
+  "CMakeFiles/adapcc_training.dir/synthetic_sgd.cpp.o.d"
+  "CMakeFiles/adapcc_training.dir/trainer.cpp.o"
+  "CMakeFiles/adapcc_training.dir/trainer.cpp.o.d"
+  "libadapcc_training.a"
+  "libadapcc_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapcc_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapcc_util.dir/logging.cpp.o"
+  "CMakeFiles/adapcc_util.dir/logging.cpp.o.d"
+  "CMakeFiles/adapcc_util.dir/stats.cpp.o"
+  "CMakeFiles/adapcc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/adapcc_util.dir/xml.cpp.o"
+  "CMakeFiles/adapcc_util.dir/xml.cpp.o.d"
+  "libadapcc_util.a"
+  "libadapcc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapcc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relay_test.dir/relay_test.cpp.o"
+  "CMakeFiles/relay_test.dir/relay_test.cpp.o.d"
+  "relay_test"
+  "relay_test.pdb"
+  "relay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
