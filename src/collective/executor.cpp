@@ -7,6 +7,7 @@
 
 #include "sim/edge_channel.h"
 #include "sim/gpu_stream.h"
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 
 namespace adapcc::collective {
@@ -52,6 +53,12 @@ class Executor::Invocation {
 
   void start() {
     result_.started = sim_.now();
+    if (auto* t = telemetry::get()) {
+      tel_span_ = t->trace().begin_span(
+          t->trace().track("executor"), to_string(strategy_.primitive), sim_.now(),
+          telemetry::kv("tensor_bytes", static_cast<double>(tensor_bytes_)) + "," +
+              telemetry::kv("subs", static_cast<double>(strategy_.subs.size())));
+    }
     for (std::size_t s = 0; s < strategy_.subs.size(); ++s) build_sub(static_cast<int>(s));
     if (outstanding_ == 0) {
       // Degenerate (e.g. zero-byte tensor): complete immediately.
@@ -74,6 +81,7 @@ class Executor::Invocation {
     sim::EdgeChannel* up = nullptr;  ///< toward parent (reduce direction)
     std::vector<std::pair<NodeId, sim::EdgeChannel*>> down;  ///< per child
     sim::GpuStream* stream = nullptr;
+    telemetry::TrackId tel_stream_track = telemetry::kInvalidTrack;  ///< lazy
   };
 
   struct FlowState {
@@ -92,7 +100,44 @@ class Executor::Invocation {
     std::vector<FlowState> flows;
     bool reduce_direction = false;     ///< Reduce / AllReduce / ReduceScatter
     bool broadcast_direction = false;  ///< Broadcast / AllReduce / AllGather
+    telemetry::TrackId tel_track = telemetry::kInvalidTrack;  ///< lazy
   };
+
+  // --- telemetry ------------------------------------------------------------
+
+  telemetry::TrackId sub_track(SubRun& run) {
+    if (run.tel_track == telemetry::kInvalidTrack) {
+      run.tel_track =
+          telemetry::get()->trace().track("executor/sub" + std::to_string(run.index));
+    }
+    return run.tel_track;
+  }
+
+  telemetry::TrackId stream_track(NodeState& state) {
+    if (state.tel_stream_track == telemetry::kInvalidTrack) {
+      state.tel_stream_track =
+          telemetry::get()->trace().track("stream/" + topology::to_string(state.id));
+    }
+    return state.tel_stream_track;
+  }
+
+  /// Opens a chunk-transmission span and counts the payload toward the
+  /// executor's reported bytes. Returns 0 when telemetry is disabled.
+  telemetry::SpanId begin_send_span(SubRun& run, NodeId from, NodeId to, int chunk, Bytes bytes) {
+    auto* t = telemetry::get();
+    if (t == nullptr) return 0;
+    t->metrics().counter("executor.bytes_sent").add(static_cast<double>(bytes));
+    t->metrics().counter("executor.chunks_sent").add(1.0);
+    return t->trace().begin_span(
+        sub_track(run), "send " + topology::to_string(from) + "->" + topology::to_string(to),
+        sim_.now(),
+        telemetry::kv("bytes", static_cast<double>(bytes)) + "," + telemetry::kv("chunk", chunk));
+  }
+
+  void end_send_span(telemetry::SpanId span) {
+    if (span == 0) return;
+    if (auto* t = telemetry::get()) t->trace().end_span(span, sim_.now());
+  }
 
   // --- construction --------------------------------------------------------
 
@@ -325,8 +370,11 @@ class Executor::Invocation {
     for (int c = 0; c < flow.chunks; ++c) {
       const Bytes bytes = bytes_of_chunk(flow.bytes, run.spec->chunk_bytes, c);
       const double value = alltoall_value(src, dst, run.index, c);
+      const telemetry::SpanId span =
+          begin_send_span(run, flow.route->src, flow.route->dst, c, bytes);
       ++pending_ops_;
-      flow.channel->send(bytes, [this, &run, src, dst, c, value, remaining, state] {
+      flow.channel->send(bytes, [this, &run, src, dst, c, value, remaining, state, span] {
+        end_send_span(span);
         result_.alltoall_received[dst][src].resize(
             std::max<std::size_t>(result_.alltoall_received[dst][src].size(),
                                   static_cast<std::size_t>(c) + 1),
@@ -364,7 +412,17 @@ class Executor::Invocation {
             static_cast<double>(bytes) * std::max(1, state.inputs_per_chunk - 1) /
                 topology::reduce_kernel_throughput(kind);
         ++pending_ops_;
-        state.stream->enqueue(duration, [this, &run, node, chunk, combined] {
+        state.stream->enqueue(duration, [this, &run, node, chunk, combined, duration, bytes] {
+          // The stream is serialized, so the kernel ran over the `duration`
+          // seconds ending now — recorded post-hoc as a complete span.
+          if (auto* t = telemetry::get()) {
+            t->trace().complete(
+                stream_track(run.nodes.at(node)), "reduce-kernel", sim_.now() - duration,
+                duration,
+                telemetry::kv("bytes", static_cast<double>(bytes)) + "," +
+                    telemetry::kv("chunk", chunk));
+            t->metrics().counter("executor.kernel_seconds").add(duration);
+          }
           emit_reduce_output(run, node, chunk, combined);
           op_done();
         });
@@ -386,8 +444,10 @@ class Executor::Invocation {
     if (state.up == nullptr) return;  // behavior says no send
     const NodeId parent = run.spec->tree.parent.at(node);
     const Bytes bytes = bytes_of_chunk(run.bytes, run.spec->chunk_bytes, chunk);
+    const telemetry::SpanId span = begin_send_span(run, node, parent, chunk, bytes);
     ++pending_ops_;
-    state.up->send(bytes, [this, &run, parent, chunk, message] {
+    state.up->send(bytes, [this, &run, parent, chunk, message, span] {
+      end_send_span(span);
       on_reduce_input(run, parent, chunk, message);
       op_done();
     });
@@ -426,8 +486,10 @@ class Executor::Invocation {
     NodeState& state = run.nodes.at(node);
     const Bytes bytes = bytes_of_chunk(run.bytes, run.spec->chunk_bytes, chunk);
     for (auto& [child, channel] : state.down) {
+      const telemetry::SpanId span = begin_send_span(run, node, child, chunk, bytes);
       ++pending_ops_;
-      channel->send(bytes, [this, &run, child = child, chunk, message] {
+      channel->send(bytes, [this, &run, child = child, chunk, message, span] {
+        end_send_span(span);
         on_broadcast_arrival(run, child, chunk, message);
         op_done();
       });
@@ -480,6 +542,11 @@ class Executor::Invocation {
     finished_ = true;
     result_.finished = sim_.now();
     result_.subs.resize(strategy_.subs.size());
+    if (auto* t = telemetry::get()) {
+      t->trace().end_span(tel_span_, sim_.now());
+      t->metrics().counter("executor.collectives").add(1.0);
+      t->metrics().histogram("executor.collective_seconds").observe(result_.elapsed());
+    }
     if (on_complete_) {
       // Deliver via a fresh event so the callback never runs inside a
       // channel/stream callback of this invocation.
@@ -504,6 +571,7 @@ class Executor::Invocation {
   long outstanding_ = 0;
   long pending_ops_ = 0;
   bool finished_ = false;
+  telemetry::SpanId tel_span_ = 0;  ///< whole-collective span
 };
 
 // ---------------------------------------------------------------------------

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "sim/edge_channel.h"
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 
 namespace adapcc::profiler {
@@ -134,6 +135,11 @@ ProfileReport Profiler::profile(LogicalTopology& topo) {
     if (edge.type == EdgeType::kNvlink) nvlink_edges.emplace_back(edge.from, edge.to);
   }
   const auto nvlink_costs = probe_edges_concurrently(nvlink_edges);
+  if (auto* t = telemetry::get()) {
+    t->trace().complete(t->trace().track("profiler"), "intra-instance probes", start,
+                        sim.now() - start,
+                        telemetry::kv("edges", static_cast<double>(nvlink_edges.size())));
+  }
   for (std::size_t i = 0; i < nvlink_edges.size(); ++i) {
     auto& edge = topo.mutable_edge(nvlink_edges[i].first, nvlink_edges[i].second);
     edge.alpha = nvlink_costs[i].alpha;
@@ -146,6 +152,7 @@ ProfileReport Profiler::profile(LogicalTopology& topo) {
   // --- Stage 2: inter-instance NIC profiling, N-1 rounds with barriers. ---
   const int n = cluster_.instance_count();
   for (int round = 1; round < n; ++round) {
+    const Seconds round_start = sim.now();
     std::vector<std::pair<NodeId, NodeId>> round_edges;
     for (int inst = 0; inst < n; ++inst) {
       round_edges.emplace_back(NodeId::nic(inst), NodeId::nic((inst + round) % n));
@@ -163,6 +170,12 @@ ProfileReport Profiler::profile(LogicalTopology& topo) {
       report.measurements.push_back({round_edges[i].first, round_edges[i].second, costs[i]});
     }
     ++report.inter_instance_rounds;
+    if (auto* t = telemetry::get()) {
+      t->trace().complete(t->trace().track("profiler"),
+                          "network round " + std::to_string(round), round_start,
+                          sim.now() - round_start,
+                          telemetry::kv("edges", static_cast<double>(round_edges.size())));
+    }
   }
 
   // --- Stage 2b: composite cross-instance GPU-GPU edges inherit the NIC
@@ -192,6 +205,13 @@ ProfileReport Profiler::profile(LogicalTopology& topo) {
   }
 
   report.wall_time = sim.now() - start;
+  if (auto* t = telemetry::get()) {
+    t->trace().complete(t->trace().track("profiler"), "profile", start, report.wall_time,
+                        telemetry::kv("edges", static_cast<double>(report.measurements.size())) +
+                            "," + telemetry::kv("rounds", report.inter_instance_rounds));
+    t->metrics().counter("profiler.rounds_run").add(1.0);
+    t->metrics().histogram("profiler.wall_seconds").observe(report.wall_time);
+  }
   ADAPCC_LOG(kInfo, "profiler") << "profiled " << report.measurements.size() << " edges in "
                                 << report.wall_time << "s (" << report.inter_instance_rounds
                                 << " network rounds)";

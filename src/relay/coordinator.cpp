@@ -5,8 +5,34 @@
 
 #include "relay/ski_rental.h"
 #include "synthesizer/cost_model.h"
+#include "telemetry/telemetry.h"
 
 namespace adapcc::relay {
+
+namespace {
+
+/// Traces a wait-vs-proceed decision: a "decide" span covering the waiting
+/// window plus an instant carrying the ski-rental inputs, so a trace shows
+/// exactly when the coordinator committed and what the buy estimate was.
+void trace_decision(const RelayDecision& decision, Seconds request_time) {
+  auto* t = telemetry::get();
+  if (t == nullptr) return;
+  auto& trace = t->trace();
+  const telemetry::TrackId track = trace.track("coordinator");
+  std::string args = telemetry::kv("waited", decision.waited) + "," +
+                     telemetry::kv("buy_cost", decision.buy_cost_estimate) + "," +
+                     telemetry::kv("ready", static_cast<double>(decision.phase1_active.size())) +
+                     "," + telemetry::kv("relays", static_cast<double>(decision.relays.size()));
+  trace.complete(track, "decide", request_time, decision.waited, args);
+  trace.instant(track, decision.partial ? "proceed-partial" : "wait-through",
+                decision.trigger_time, std::move(args));
+  t->metrics().counter(decision.partial ? "coordinator.partial_decisions"
+                                        : "coordinator.full_decisions")
+      .add(1.0);
+  t->metrics().histogram("coordinator.wait_seconds").observe(decision.waited);
+}
+
+}  // namespace
 
 RelayDecision Coordinator::decide(const std::map<int, Seconds>& ready_at, Seconds now,
                                   const collective::Strategy& strategy, Bytes tensor_bytes,
@@ -39,6 +65,7 @@ RelayDecision Coordinator::decide(const std::map<int, Seconds>& ready_at, Second
     decision.trigger_time = std::max(all_ready, now);
     decision.phase1_active = ready_set(all_ready);
     decision.waited = decision.trigger_time - now;
+    trace_decision(decision, now);
     return decision;
   }
   // Walk decision cycles until either everyone is ready or the accumulated
@@ -51,6 +78,7 @@ RelayDecision Coordinator::decide(const std::map<int, Seconds>& ready_at, Second
       decision.trigger_time = std::max(all_ready, now);
       decision.phase1_active = ready;
       decision.waited = decision.trigger_time - now;
+      trace_decision(decision, now);
       return decision;
     }
     // Buying = the *extra* time option (2) spends versus simply running the
@@ -91,6 +119,7 @@ RelayDecision Coordinator::decide(const std::map<int, Seconds>& ready_at, Second
       }
       decision.waited = waited;
       decision.buy_cost_estimate = buy;
+      trace_decision(decision, now);
       return decision;
     }
   }

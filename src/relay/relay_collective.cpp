@@ -8,6 +8,7 @@
 #include "collective/builders.h"
 #include "collective/payload.h"
 #include "synthesizer/cost_model.h"
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 
 namespace adapcc::relay {
@@ -133,9 +134,27 @@ RelayRunResult RelayCollectiveRunner::run_allreduce(const Strategy& strategy, By
     if (it != fill_start.end()) options.fill_start[rank] = it->second;
   }
 
+  if (auto* t = telemetry::get()) {
+    const telemetry::TrackId track = t->trace().track("relay");
+    for (const int rank : decision.relays) {
+      t->trace().instant(track, "relay-assign", decision.trigger_time,
+                         telemetry::kv("rank", rank));
+      t->metrics().counter("relay.assignments").add(1.0);
+    }
+    for (const int rank : result.joined) {
+      t->trace().instant(track, "relay-join", decision.trigger_time,
+                         telemetry::kv("rank", rank));
+    }
+  }
+
   Executor executor(cluster_, strategy);
   const CollectiveResult phase1 = executor.run(tensor_bytes, options);
   result.phase1_finish = phase1.finished;
+  if (auto* t = telemetry::get()) {
+    t->trace().complete(t->trace().track("relay"), decision.partial ? "phase1" : "full-collective",
+                        decision.trigger_time, result.phase1_finish - decision.trigger_time,
+                        telemetry::kv("active", static_cast<double>(phase1_active.size())));
+  }
 
   // Collect phase-1 values of (sub 0, chunk 0) per participant.
   collective::ContributorMask mask = 0;
@@ -163,6 +182,12 @@ RelayRunResult RelayCollectiveRunner::run_allreduce(const Strategy& strategy, By
         late_ok.push_back(rank);
       } else {
         result.faulty.insert(rank);
+        if (auto* tel = telemetry::get()) {
+          tel->trace().instant(tel->trace().track("relay"), "fault-exclude", deadline,
+                               telemetry::kv("rank", rank) + "," +
+                                   telemetry::kv("deadline", deadline));
+          tel->metrics().counter("relay.fault_exclusions").add(1.0);
+        }
       }
     }
 
@@ -265,6 +290,14 @@ RelayRunResult RelayCollectiveRunner::run_allreduce(const Strategy& strategy, By
   result.final_mask = mask;
   result.comm_time = result.phase2_finish - decision.trigger_time;
   result.total_time = result.phase2_finish - fastest;
+  if (auto* t = telemetry::get()) {
+    if (decision.partial && result.phase2_finish > result.phase1_finish) {
+      t->trace().complete(t->trace().track("relay"), "phase2", result.phase1_finish,
+                          result.phase2_finish - result.phase1_finish,
+                          telemetry::kv("late", static_cast<double>(still_late.size())));
+    }
+    t->metrics().histogram("relay.comm_seconds").observe(result.comm_time);
+  }
   return result;
 }
 

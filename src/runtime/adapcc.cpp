@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "telemetry/export.h"
 #include "util/logging.h"
 
 namespace adapcc::runtime {
@@ -39,7 +40,36 @@ Adapcc::Adapcc(topology::Cluster& cluster, AdapccConfig config)
   for (int r = 0; r < cluster_.world_size(); ++r) participants_.push_back(r);
 }
 
+Adapcc::~Adapcc() {
+  if (!telemetry_owner_) return;
+  export_telemetry();
+  telemetry::disable();
+}
+
+void Adapcc::enable_telemetry(TelemetryOptions options) {
+  telemetry_options_ = std::move(options);
+  telemetry::enable(telemetry_options_.config);
+  telemetry_owner_ = true;
+}
+
+bool Adapcc::export_telemetry() const {
+  auto* t = telemetry::get();
+  if (t == nullptr) return false;
+  bool ok = true;
+  if (!telemetry_options_.trace_path.empty()) {
+    ok = telemetry::export_chrome_trace(*t, telemetry_options_.trace_path) && ok;
+  }
+  if (!telemetry_options_.metrics_csv_path.empty()) {
+    ok = telemetry::export_metrics_csv(*t, telemetry_options_.metrics_csv_path) && ok;
+  }
+  if (!telemetry_options_.metrics_json_path.empty()) {
+    ok = telemetry::export_metrics_json(*t, telemetry_options_.metrics_json_path) && ok;
+  }
+  return ok;
+}
+
 void Adapcc::init() {
+  const Seconds start = cluster_.simulator().now();
   topology::Detector detector(cluster_, rng_.fork());
   detection_ = detector.detect();
   topo_ = topology::Detector::build_logical_topology(cluster_, detection_);
@@ -49,6 +79,12 @@ void Adapcc::init() {
   relay_runner_ =
       std::make_unique<relay::RelayCollectiveRunner>(cluster_, topo_, config_.coordinator);
   initialized_ = true;
+  if (auto* t = telemetry::get()) {
+    t->trace().complete(t->trace().track("runtime"), "init", start,
+                        cluster_.simulator().now() - start,
+                        telemetry::kv("ranks", cluster_.world_size()) + "," +
+                            telemetry::kv("edges", static_cast<double>(topo_.edge_count())));
+  }
   ADAPCC_LOG(kInfo, "adapcc") << "init complete: " << cluster_.world_size() << " ranks, "
                               << topo_.edge_count() << " logical edges";
 }
@@ -144,6 +180,12 @@ ReconstructionReport Adapcc::reprofile(Bytes tensor_bytes) {
         context_setup_cost(cluster_.world_size(), config_.synthesizer.parallel_subs);
     cluster_.simulator().run_until(cluster_.simulator().now() + report.context_setup_time);
   }
+  if (auto* t = telemetry::get()) {
+    t->trace().instant(t->trace().track("runtime"), "reprofile", cluster_.simulator().now(),
+                       telemetry::kv("graph_changed", report.graph_changed ? 1.0 : 0.0) + "," +
+                           telemetry::kv("total_seconds", report.total()));
+    t->metrics().counter("runtime.reprofiles").add(1.0);
+  }
   return report;
 }
 
@@ -155,6 +197,13 @@ void Adapcc::exclude_workers(const std::set<int>& failed) {
   if (remaining.size() < 2) throw std::invalid_argument("exclude_workers: < 2 workers remain");
   participants_ = std::move(remaining);
   strategies_.clear();  // graphs must be rebuilt for the smaller group
+  if (auto* t = telemetry::get()) {
+    t->trace().instant(t->trace().track("runtime"), "exclude-workers",
+                       cluster_.simulator().now(),
+                       telemetry::kv("failed", static_cast<double>(failed.size())) + "," +
+                           telemetry::kv("remaining", static_cast<double>(participants_.size())));
+    t->metrics().counter("runtime.workers_excluded").add(static_cast<double>(failed.size()));
+  }
 }
 
 void Adapcc::include_workers(const std::set<int>& recovered) {
@@ -167,6 +216,12 @@ void Adapcc::include_workers(const std::set<int>& recovered) {
   }
   participants_.assign(members.begin(), members.end());
   strategies_.clear();  // graphs must be rebuilt for the larger group
+  if (auto* t = telemetry::get()) {
+    t->trace().instant(t->trace().track("runtime"), "include-workers",
+                       cluster_.simulator().now(),
+                       telemetry::kv("recovered", static_cast<double>(recovered.size())) + "," +
+                           telemetry::kv("total", static_cast<double>(participants_.size())));
+  }
 }
 
 const synthesizer::SynthesisReport& Adapcc::last_synthesis() const {

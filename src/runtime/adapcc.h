@@ -20,6 +20,7 @@
 #include "profiler/profiler.h"
 #include "relay/relay_collective.h"
 #include "synthesizer/synthesizer.h"
+#include "telemetry/telemetry.h"
 #include "topology/cluster.h"
 #include "topology/detector.h"
 #include "topology/logical_topology.h"
@@ -50,9 +51,34 @@ struct ReconstructionReport {
   }
 };
 
+/// Runtime telemetry wiring (observability, disabled by default): where to
+/// export the trace / metrics when the runtime shuts down.
+struct TelemetryOptions {
+  telemetry::TelemetryConfig config;
+  /// Chrome trace-event JSON (open in Perfetto / chrome://tracing); empty =
+  /// no trace export.
+  std::string trace_path;
+  /// Flat per-iteration metrics dump; empty = no export.
+  std::string metrics_csv_path;
+  std::string metrics_json_path;
+};
+
 class Adapcc {
  public:
   explicit Adapcc(topology::Cluster& cluster, AdapccConfig config = {});
+
+  /// Exports telemetry (when enabled via enable_telemetry) on shutdown.
+  ~Adapcc();
+
+  /// Turns the process-wide telemetry subsystem on (adapcc.telemetry() in
+  /// the library's API surface). Any previously recorded data is discarded.
+  /// The configured exports are written by the destructor or by an explicit
+  /// export_telemetry() call.
+  void enable_telemetry(TelemetryOptions options);
+
+  /// Writes the configured telemetry exports now. Returns false when
+  /// telemetry is disabled or any configured path could not be written.
+  bool export_telemetry() const;
 
   /// adapcc.init(): detect topology, profile links, warm the synthesizer.
   void init();
@@ -129,6 +155,8 @@ class Adapcc {
   std::map<collective::Primitive, collective::Strategy> strategies_;
   bool initialized_ = false;
   bool set_up_ = false;
+  bool telemetry_owner_ = false;  ///< this runtime enabled telemetry
+  TelemetryOptions telemetry_options_;
 };
 
 /// Simulated cost of establishing transmission contexts: per-context GPU

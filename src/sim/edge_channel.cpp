@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "telemetry/telemetry.h"
+
 namespace adapcc::sim {
 
 EdgeChannel::EdgeChannel(Simulator& sim, std::vector<FlowLink*> path)
@@ -33,6 +35,12 @@ BytesPerSecond EdgeChannel::path_bandwidth() const noexcept {
 }
 
 void EdgeChannel::send(Bytes bytes, DeliveryCallback on_delivered) {
+  if (auto* t = telemetry::get()) {
+    // Queueing pressure: how many chunks of this channel are already waiting
+    // or in flight when a new one is enqueued (pipeline depth).
+    t->metrics().histogram("channel.queue_depth").observe(static_cast<double>(chunks_.size()));
+    t->metrics().counter("channel.bytes_enqueued").add(static_cast<double>(bytes));
+  }
   chunks_.push_back(Chunk{next_chunk_id_++, bytes, std::move(on_delivered), 0, false});
   ++in_flight_;
   try_start(0);

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/telemetry.h"
+
 namespace adapcc::sim {
 
 namespace {
@@ -36,6 +38,18 @@ FlowLink::FlowLink(Simulator& sim, std::string name, Seconds alpha, BytesPerSeco
   if (per_transfer_cap < 0) throw std::invalid_argument("FlowLink: negative per-transfer cap");
 }
 
+bool FlowLink::telemetry_ready() {
+  telemetry::Telemetry* t = telemetry::get();
+  if (t == nullptr) return false;
+  if (tel_epoch_ != telemetry::epoch()) {
+    tel_epoch_ = telemetry::epoch();
+    tel_track_ = t->trace().track("link/" + name_);
+    tel_bytes_ = &t->metrics().counter("link." + name_ + ".bytes");
+    tel_busy_ = &t->metrics().gauge("link." + name_ + ".busy_seconds");
+  }
+  return true;
+}
+
 double FlowLink::current_rate() const noexcept {
   if (transfers_.empty()) return 0.0;
   double rate = std::max(capacity_, 0.0) / static_cast<double>(transfers_.size());
@@ -53,6 +67,13 @@ void FlowLink::start_transfer(Bytes bytes, CompletionCallback on_delivered,
   advance_progress();
   transfers_.push_back(
       Transfer{static_cast<double>(bytes), bytes, std::move(on_delivered), std::move(on_served)});
+  if (telemetry_ready()) {
+    auto& trace = telemetry::get()->trace();
+    transfers_.back().span = trace.begin_span(tel_track_, "xfer", sim_.now(),
+                                              telemetry::kv("bytes", static_cast<double>(bytes)));
+    trace.counter(tel_track_, "in_flight", sim_.now(),
+                  static_cast<double>(transfers_.size()));
+  }
   reschedule_completion();
 }
 
@@ -111,6 +132,17 @@ void FlowLink::on_completion_event() {
     } else {
       ++it;
     }
+  }
+  if (!done.empty() && telemetry_ready()) {
+    auto& trace = telemetry::get()->trace();
+    Bytes done_bytes = 0;
+    for (const auto& transfer : done) {
+      trace.end_span(transfer.span, sim_.now());
+      done_bytes += transfer.total_bytes;
+    }
+    trace.counter(tel_track_, "in_flight", sim_.now(), static_cast<double>(transfers_.size()));
+    tel_bytes_->add(static_cast<double>(done_bytes));
+    tel_busy_->set(busy_time());
   }
   reschedule_completion();
   for (auto& transfer : done) {

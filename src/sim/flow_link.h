@@ -15,6 +15,7 @@
 #include <string>
 
 #include "sim/simulator.h"
+#include "telemetry/fwd.h"
 #include "util/units.h"
 
 namespace adapcc::sim {
@@ -65,7 +66,13 @@ class FlowLink {
     Bytes total_bytes;
     CompletionCallback on_delivered;
     CompletionCallback on_served;
+    telemetry::SpanId span = 0;  ///< open "xfer" trace span, 0 when disabled
   };
+
+  /// Re-resolves cached telemetry handles when the telemetry epoch changed;
+  /// returns false when telemetry is disabled. Keeps the per-event cost at
+  /// one pointer load + one integer compare once resolved.
+  bool telemetry_ready();
 
   /// Instantaneous per-transfer rate under equal sharing and the cap.
   double current_rate() const noexcept;
@@ -85,6 +92,13 @@ class FlowLink {
   EventId completion_event_{};
   Bytes bytes_delivered_ = 0;
   Seconds busy_accum_ = 0.0;
+
+  // Telemetry handles, resolved lazily per telemetry epoch (see
+  // telemetry::epoch()); raw pointers stay valid for the epoch's lifetime.
+  std::uint64_t tel_epoch_ = 0;
+  telemetry::TrackId tel_track_ = telemetry::kInvalidTrack;
+  telemetry::Counter* tel_bytes_ = nullptr;
+  telemetry::Gauge* tel_busy_ = nullptr;
 };
 
 }  // namespace adapcc::sim

@@ -1,0 +1,34 @@
+// Exporters: Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing) and flat CSV / JSON dumps of the metrics registry.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace_recorder.h"
+#include "telemetry/telemetry.h"
+
+namespace adapcc::telemetry {
+
+/// Writes the recorder's events as a Chrome trace ("traceEvents" JSON
+/// object). Tracks become threads of one process, named via "M" metadata
+/// events; simulated seconds map to microseconds (the format's unit).
+/// Events are emitted in non-decreasing timestamp order.
+void write_chrome_trace(const TraceRecorder& recorder, std::ostream& out);
+
+/// Long-form CSV: one row per metric per snapshot, plus a trailing "final"
+/// snapshot of the current values. Columns: snapshot,ts_seconds,name,kind,value.
+void write_metrics_csv(const MetricsRegistry& metrics, std::ostream& out);
+
+/// JSON object: {"snapshots":[{label, ts, metrics:{name:value,...}},...],
+/// "final":{name:value,...}}.
+void write_metrics_json(const MetricsRegistry& metrics, std::ostream& out);
+
+/// File-writing conveniences; return false (and log) when the file cannot
+/// be opened. Used by the runtime's export-on-shutdown hook.
+bool export_chrome_trace(const Telemetry& telemetry, const std::string& path);
+bool export_metrics_csv(const Telemetry& telemetry, const std::string& path);
+bool export_metrics_json(const Telemetry& telemetry, const std::string& path);
+
+}  // namespace adapcc::telemetry

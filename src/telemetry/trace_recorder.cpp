@@ -1,0 +1,123 @@
+#include "telemetry/trace_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace adapcc::telemetry {
+
+namespace {
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  // Integral values print without a trailing ".000000" so byte counts and
+  // ranks stay readable in the trace viewer.
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string kv(std::string_view key, double value) {
+  std::string out;
+  out.reserve(key.size() + 24);
+  out += '"';
+  out += key;
+  out += "\":";
+  out += json_number(value);
+  return out;
+}
+
+std::string kv(std::string_view key, std::string_view value) {
+  std::string out;
+  out.reserve(key.size() + value.size() + 6);
+  out += '"';
+  out += key;
+  out += "\":\"";
+  // Minimal escaping; full escaping happens for names in the exporter. Args
+  // values are library-generated identifiers (node names, primitives).
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {
+  buffer_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+TrackId TraceRecorder::track(std::string_view name) {
+  const auto it = track_ids_.find(std::string(name));
+  if (it != track_ids_.end()) return it->second;
+  const TrackId id = static_cast<TrackId>(track_names_.size());
+  track_names_.emplace_back(name);
+  track_ids_.emplace(track_names_.back(), id);
+  return id;
+}
+
+SpanId TraceRecorder::begin_span(TrackId track, std::string_view name, Seconds ts,
+                                 std::string args) {
+  const SpanId id = next_span_++;
+  open_.emplace(id, OpenSpan{track, ts, std::string(name), std::move(args)});
+  return id;
+}
+
+void TraceRecorder::end_span(SpanId span, Seconds ts) {
+  const auto it = open_.find(span);
+  if (it == open_.end()) return;
+  OpenSpan open = std::move(it->second);
+  open_.erase(it);
+  push(TraceEvent{EventKind::kComplete, open.track, open.ts, std::max(0.0, ts - open.ts), 0.0,
+                  std::move(open.name), std::move(open.args)});
+}
+
+void TraceRecorder::complete(TrackId track, std::string_view name, Seconds ts, Seconds dur,
+                             std::string args) {
+  push(TraceEvent{EventKind::kComplete, track, ts, std::max(0.0, dur), 0.0, std::string(name),
+                  std::move(args)});
+}
+
+void TraceRecorder::instant(TrackId track, std::string_view name, Seconds ts, std::string args) {
+  push(TraceEvent{EventKind::kInstant, track, ts, 0.0, 0.0, std::string(name), std::move(args)});
+}
+
+void TraceRecorder::counter(TrackId track, std::string_view name, Seconds ts, double value) {
+  push(TraceEvent{EventKind::kCounter, track, ts, 0.0, value, std::string(name), {}});
+}
+
+void TraceRecorder::push(TraceEvent event) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(std::move(event));
+    return;
+  }
+  buffer_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(buffer_.size());
+  // next_ is the oldest element once the ring has wrapped.
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    out.push_back(buffer_[(next_ + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+void TraceRecorder::clear() {
+  buffer_.clear();
+  next_ = 0;
+  dropped_ = 0;
+  open_.clear();
+}
+
+}  // namespace adapcc::telemetry

@@ -3,10 +3,41 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 
 namespace adapcc::training {
+
+namespace {
+
+/// One iteration as nested spans on the "trainer" track: the iteration span
+/// with three sequential children — compute (until the fastest worker is
+/// ready), wait (the coordinator's deliberation window) and comm (trigger to
+/// final tensor). Also feeds per-iteration histograms and labels a metrics
+/// snapshot, giving the per-iteration time series the exporters flatten.
+void trace_iteration(int iteration, Seconds t0, Seconds end, const IterationStats& iter) {
+  auto* t = telemetry::get();
+  if (t == nullptr) return;
+  auto& trace = t->trace();
+  const telemetry::TrackId track = trace.track("trainer");
+  trace.complete(track, "iteration " + std::to_string(iteration), t0, end - t0,
+                 telemetry::kv("partial", iter.partial ? 1.0 : 0.0) + "," +
+                     telemetry::kv("relays", static_cast<double>(iter.relays.size())));
+  const Seconds fastest = t0 + iter.compute_min;
+  trace.complete(track, "compute", t0, iter.compute_min);
+  if (iter.wait_time > 0) trace.complete(track, "wait", fastest, iter.wait_time);
+  trace.complete(track, "comm", fastest + iter.wait_time, iter.comm_time);
+  t->metrics().histogram("trainer.compute_seconds").observe(iter.compute_max);
+  t->metrics().histogram("trainer.wait_seconds").observe(iter.wait_time);
+  t->metrics().histogram("trainer.comm_seconds").observe(iter.comm_time);
+  t->metrics().histogram("trainer.iteration_seconds").observe(iter.iteration_time);
+  t->metrics().counter("trainer.iterations").add(1.0);
+  t->metrics().snapshot("iter " + std::to_string(iteration), end);
+}
+
+}  // namespace
 
 double TrainingStats::mean_comm_time() const {
   if (iterations.empty()) return 0.0;
@@ -108,6 +139,7 @@ TrainingStats Trainer::train_with_adapcc(runtime::Adapcc& adapcc) {
       }
     }
     iter.iteration_time = sim.now() - t0;
+    trace_iteration(iteration, t0, sim.now(), iter);
     stats.iterations.push_back(std::move(iter));
 
     if (config_.profile_period > 0 && (iteration + 1) % config_.profile_period == 0) {
@@ -148,6 +180,7 @@ TrainingStats Trainer::train_with_backend(baselines::Backend& backend) {
     iter.comm_time = result.finished - slowest;
     iter.wait_time = slowest - fastest;  // everyone waits for the straggler
     iter.iteration_time = sim.now() - t0;
+    trace_iteration(iteration, t0, sim.now(), iter);
     stats.iterations.push_back(std::move(iter));
   }
   stats.makespan = sim.now() - start;

@@ -1,11 +1,34 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <optional>
 
 namespace adapcc::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+/// Parses ADAPCC_LOG_LEVEL: a level name (case-insensitive) or its numeric
+/// value 0-4. Unset or unparsable -> nullopt (keep the kWarn default).
+std::optional<LogLevel> level_from_env() {
+  const char* raw = std::getenv("ADAPCC_LOG_LEVEL");
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  std::string value;
+  for (const char* p = raw; *p != '\0'; ++p) {
+    value.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (value == "debug" || value == "0") return LogLevel::kDebug;
+  if (value == "info" || value == "1") return LogLevel::kInfo;
+  if (value == "warn" || value == "warning" || value == "2") return LogLevel::kWarn;
+  if (value == "error" || value == "3") return LogLevel::kError;
+  if (value == "off" || value == "none" || value == "4") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+LogLevel initial_level() { return level_from_env().value_or(LogLevel::kWarn); }
+
+std::atomic<LogLevel> g_level{initial_level()};
 std::mutex g_emit_mutex;
 
 constexpr std::string_view level_name(LogLevel level) {

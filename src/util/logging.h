@@ -16,6 +16,11 @@ namespace adapcc::util {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 /// Process-wide log level. Defaults to kWarn so tests and benches stay quiet.
+/// The initial level can be overridden with the ADAPCC_LOG_LEVEL environment
+/// variable, read once at startup. Accepted values (case-insensitive):
+/// "debug"/"0", "info"/"1", "warn"/"warning"/"2", "error"/"3",
+/// "off"/"none"/"4". Unset or unrecognised values keep the kWarn default;
+/// set_log_level() still wins afterwards.
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
 

@@ -54,8 +54,13 @@ std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> samples
   cdf.reserve(points);
   for (std::size_t i = 0; i < points; ++i) {
     const double q = points == 1 ? 1.0 : static_cast<double>(i) / static_cast<double>(points - 1);
-    const auto idx = static_cast<std::size_t>(q * static_cast<double>(samples.size() - 1));
-    cdf.emplace_back(samples[idx], q);
+    // Same linear interpolation between order statistics as percentile();
+    // truncating to the lower sample would bias every quantile downward.
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    cdf.emplace_back(samples[lo] * (1.0 - frac) + samples[hi] * frac, q);
   }
   return cdf;
 }

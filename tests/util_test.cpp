@@ -70,6 +70,20 @@ TEST(EmpiricalCdf, IsMonotone) {
   EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
 }
 
+TEST(EmpiricalCdf, InterpolatesLikePercentile) {
+  // Regression: quantiles between order statistics must interpolate exactly
+  // as percentile() does, not truncate down to the lower sample.
+  const std::vector<double> samples{10, 20, 30, 40};
+  const auto cdf = util::empirical_cdf(samples, 3);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].first, 10.0);
+  EXPECT_DOUBLE_EQ(cdf[1].first, 25.0);  // truncating indexing would give 20
+  EXPECT_DOUBLE_EQ(cdf[2].first, 40.0);
+  for (const auto& [value, q] : cdf) {
+    EXPECT_DOUBLE_EQ(value, util::percentile(samples, q));
+  }
+}
+
 TEST(FitLine, RecoversExactLine) {
   // t = alpha + beta * s with alpha=5us, beta = 1/(10 GB/s).
   const double alpha = 5e-6;
