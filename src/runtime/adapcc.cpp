@@ -98,18 +98,61 @@ Seconds Adapcc::setup() {
   return cost;
 }
 
+namespace {
+/// Log2 bucket of the tensor size: the synthesizer sweeps the same chunk
+/// candidates within a power-of-two size band, so nearby sizes solve to
+/// structurally equal graphs and can share a cache entry.
+int tensor_size_bucket(Bytes tensor_bytes) noexcept {
+  int bucket = 0;
+  while (tensor_bytes > 1) {
+    tensor_bytes >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+}  // namespace
+
 const collective::Strategy& Adapcc::strategy_for(Primitive primitive, Bytes tensor_bytes) {
   if (!initialized_) throw std::logic_error("adapcc: collective before init()");
   const auto it = strategies_.find(primitive);
   if (it != strategies_.end()) return it->second;
-  Strategy strategy = synthesizer_->synthesize(primitive, participants_, tensor_bytes);
+  Strategy strategy = synthesize_cached(primitive, participants_, tensor_bytes);
   return strategies_.emplace(primitive, std::move(strategy)).first->second;
 }
 
 collective::Strategy Adapcc::synthesize(Primitive primitive, const std::vector<int>& participants,
                                         Bytes tensor_bytes) {
   if (!initialized_) throw std::logic_error("adapcc: synthesize before init()");
-  return synthesizer_->synthesize(primitive, participants, tensor_bytes);
+  return synthesize_cached(primitive, participants, tensor_bytes);
+}
+
+collective::Strategy Adapcc::synthesize_cached(Primitive primitive,
+                                               const std::vector<int>& participants,
+                                               Bytes tensor_bytes) {
+  StrategyCacheKey key{static_cast<int>(primitive), participants,
+                       tensor_size_bucket(tensor_bytes), topology_epoch_};
+  if (const auto it = strategy_cache_.find(key); it != strategy_cache_.end()) {
+    ++cache_hits_total_;
+    last_report_ = it->second.report;
+    last_report_.solve_time_seconds = 0.0;  // served from cache, nothing solved
+    last_report_.cache_hits = cache_hits_total_;
+    last_report_.cache_misses = cache_misses_total_;
+    if (auto* t = telemetry::get()) t->metrics().counter("runtime.strategy_cache_hits").add(1.0);
+    return it->second.strategy;
+  }
+  ++cache_misses_total_;
+  Strategy strategy = synthesizer_->synthesize(primitive, participants, tensor_bytes);
+  last_report_ = synthesizer_->last_report();
+  last_report_.cache_hits = cache_hits_total_;
+  last_report_.cache_misses = cache_misses_total_;
+  strategy_cache_.emplace(std::move(key),
+                          CachedStrategy{strategy, synthesizer_->last_report()});
+  return strategy;
+}
+
+void Adapcc::invalidate_strategy_cache() {
+  ++topology_epoch_;  // stale keys can never match again
+  strategy_cache_.clear();
 }
 
 CollectiveResult Adapcc::run_primitive(Primitive primitive, Bytes tensor_bytes,
@@ -151,24 +194,27 @@ ReconstructionReport Adapcc::reprofile(Bytes tensor_bytes) {
   if (!initialized_) throw std::logic_error("adapcc: reprofile before init()");
   ReconstructionReport report;
 
-  // 1. Profiling on the fly (training blocked, no checkpoint).
+  // 1. Profiling on the fly (training blocked, no checkpoint). The profiled
+  //    costs changed, so every cached strategy is stale: bump the epoch
+  //    before re-solving.
   profiler::Profiler profiler(cluster_, config_.profiler);
   report.profiling_time = profiler.profile(topo_).wall_time;
+  invalidate_strategy_cache();
 
   // 2. Re-synthesize each installed primitive; detect graph changes by
   //    fingerprint (Sec. IV-B: unchanged graph -> resume immediately).
   std::map<Primitive, Strategy> fresh;
   for (const auto& [primitive, old_strategy] : strategies_) {
-    Strategy next = synthesizer_->synthesize(primitive, participants_, tensor_bytes);
-    report.solve_time_seconds += synthesizer_->last_report().solve_time_seconds;
+    Strategy next = synthesize_cached(primitive, participants_, tensor_bytes);
+    report.solve_time_seconds += last_report_.solve_time_seconds;
     if (next.fingerprint() != old_strategy.fingerprint()) report.graph_changed = true;
     fresh.emplace(primitive, std::move(next));
   }
   if (strategies_.empty()) {
     // Nothing installed yet: synthesize the default AllReduce once so the
     // reconstruction cost is representative.
-    Strategy next = synthesizer_->synthesize(Primitive::kAllReduce, participants_, tensor_bytes);
-    report.solve_time_seconds += synthesizer_->last_report().solve_time_seconds;
+    Strategy next = synthesize_cached(Primitive::kAllReduce, participants_, tensor_bytes);
+    report.solve_time_seconds += last_report_.solve_time_seconds;
     fresh.emplace(Primitive::kAllReduce, std::move(next));
     report.graph_changed = true;
   }
@@ -197,6 +243,7 @@ void Adapcc::exclude_workers(const std::set<int>& failed) {
   if (remaining.size() < 2) throw std::invalid_argument("exclude_workers: < 2 workers remain");
   participants_ = std::move(remaining);
   strategies_.clear();  // graphs must be rebuilt for the smaller group
+  invalidate_strategy_cache();
   if (auto* t = telemetry::get()) {
     t->trace().instant(t->trace().track("runtime"), "exclude-workers",
                        cluster_.simulator().now(),
@@ -216,6 +263,7 @@ void Adapcc::include_workers(const std::set<int>& recovered) {
   }
   participants_.assign(members.begin(), members.end());
   strategies_.clear();  // graphs must be rebuilt for the larger group
+  invalidate_strategy_cache();
   if (auto* t = telemetry::get()) {
     t->trace().instant(t->trace().track("runtime"), "include-workers",
                        cluster_.simulator().now(),
@@ -226,7 +274,7 @@ void Adapcc::include_workers(const std::set<int>& recovered) {
 
 const synthesizer::SynthesisReport& Adapcc::last_synthesis() const {
   if (synthesizer_ == nullptr) throw std::logic_error("adapcc: no synthesizer yet");
-  return synthesizer_->last_report();
+  return last_report_;
 }
 
 }  // namespace adapcc::runtime

@@ -9,11 +9,13 @@
 // simulated cluster; it is what the examples and the training loop use.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "collective/executor.h"
@@ -127,6 +129,9 @@ class Adapcc {
   const topology::LogicalTopology& topology() const { return topo_; }
   const topology::DetectionResult& detection() const { return detection_; }
   const std::vector<int>& participants() const noexcept { return participants_; }
+  /// Report of the most recent synthesis through this runtime, including the
+  /// cumulative strategy-cache hit/miss counters. A cache hit reports the
+  /// cached solve's model cost and candidate count with zero solve time.
   const synthesizer::SynthesisReport& last_synthesis() const;
   Seconds detection_time() const noexcept { return detection_.total_time; }
   bool initialized() const noexcept { return initialized_; }
@@ -144,6 +149,27 @@ class Adapcc {
   collective::CollectiveResult run_primitive(collective::Primitive primitive, Bytes tensor_bytes,
                                              collective::CollectiveOptions options);
 
+  /// Strategy-cache key: (primitive, participant set, log2 size bucket,
+  /// topology epoch). Tensor sizes within one power-of-two band synthesize
+  /// against the same candidate chunk list, so they share an entry.
+  using StrategyCacheKey = std::tuple<int, std::vector<int>, int, std::uint64_t>;
+  struct CachedStrategy {
+    collective::Strategy strategy;
+    synthesizer::SynthesisReport report;
+  };
+
+  /// All synthesis requests funnel through here: serves a cached strategy
+  /// when the key matches the current topology epoch, otherwise solves and
+  /// caches. Updates last_synthesis() either way.
+  collective::Strategy synthesize_cached(collective::Primitive primitive,
+                                         const std::vector<int>& participants, Bytes tensor_bytes);
+
+  /// Bumps the topology epoch and drops every cached strategy — called
+  /// whenever the profiled topology or the participant set changes
+  /// (reprofile, exclude_workers, include_workers), so a stale graph can
+  /// never be served against a changed cluster view.
+  void invalidate_strategy_cache();
+
   topology::Cluster& cluster_;
   AdapccConfig config_;
   util::Rng rng_;
@@ -153,6 +179,11 @@ class Adapcc {
   std::unique_ptr<relay::RelayCollectiveRunner> relay_runner_;
   std::vector<int> participants_;
   std::map<collective::Primitive, collective::Strategy> strategies_;
+  std::map<StrategyCacheKey, CachedStrategy> strategy_cache_;
+  std::uint64_t topology_epoch_ = 0;
+  synthesizer::SynthesisReport last_report_;
+  int cache_hits_total_ = 0;
+  int cache_misses_total_ = 0;
   bool initialized_ = false;
   bool set_up_ = false;
   bool telemetry_owner_ = false;  ///< this runtime enabled telemetry

@@ -98,11 +98,17 @@ void pipelined_transfer(Simulator& sim, std::vector<FlowLink*> path, Bytes total
   }
   auto channel = std::make_shared<EdgeChannel>(sim, std::move(path));
   const Bytes chunks = (total + chunk - 1) / chunk;
-  auto remaining = std::make_shared<Bytes>(chunks);
+  // One shared completion record instead of a per-chunk copy of the
+  // callback; the per-chunk capture is two shared_ptrs (fits inline).
+  struct State {
+    Bytes remaining;
+    std::function<void()> done;
+  };
+  auto state = std::make_shared<State>(State{chunks, std::move(on_complete)});
   for (Bytes i = 0; i < chunks; ++i) {
     const Bytes this_chunk = std::min<Bytes>(chunk, total - i * chunk);
-    channel->send(this_chunk, [channel, remaining, done = on_complete]() mutable {
-      if (--*remaining == 0 && done) done();
+    channel->send(this_chunk, [channel, state] {
+      if (--state->remaining == 0 && state->done) state->done();
     });
   }
 }

@@ -30,7 +30,10 @@ namespace adapcc::sim {
 
 class EdgeChannel {
  public:
-  using DeliveryCallback = std::function<void()>;
+  /// Move-only small-buffer callable (see inline_callback.h); chunk
+  /// completion handlers move through the link and event layers without
+  /// re-wrapping or allocation.
+  using DeliveryCallback = InlineCallback;
 
   /// `path` must be non-empty and outlive the channel.
   EdgeChannel(Simulator& sim, std::vector<FlowLink*> path);

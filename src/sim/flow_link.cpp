@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <stdexcept>
 #include <utility>
-#include <vector>
 
 #include "telemetry/telemetry.h"
 
@@ -32,7 +30,10 @@ FlowLink::FlowLink(Simulator& sim, std::string name, Seconds alpha, BytesPerSeco
       name_(std::move(name)),
       alpha_(alpha),
       capacity_(capacity),
-      per_transfer_cap_(per_transfer_cap) {
+      per_transfer_cap_(per_transfer_cap),
+      tel_track_name_("link/" + name_),
+      tel_bytes_name_("link." + name_ + ".bytes"),
+      tel_busy_name_("link." + name_ + ".busy_seconds") {
   if (alpha < 0) throw std::invalid_argument("FlowLink: negative alpha");
   if (capacity <= 0) throw std::invalid_argument("FlowLink: non-positive capacity");
   if (per_transfer_cap < 0) throw std::invalid_argument("FlowLink: negative per-transfer cap");
@@ -43,9 +44,9 @@ bool FlowLink::telemetry_ready() {
   if (t == nullptr) return false;
   if (tel_epoch_ != telemetry::epoch()) {
     tel_epoch_ = telemetry::epoch();
-    tel_track_ = t->trace().track("link/" + name_);
-    tel_bytes_ = &t->metrics().counter("link." + name_ + ".bytes");
-    tel_busy_ = &t->metrics().gauge("link." + name_ + ".busy_seconds");
+    tel_track_ = t->trace().track(tel_track_name_);
+    tel_bytes_ = &t->metrics().counter(tel_bytes_name_);
+    tel_busy_ = &t->metrics().gauge(tel_busy_name_);
   }
   return true;
 }
@@ -57,6 +58,29 @@ double FlowLink::current_rate() const noexcept {
   return rate;
 }
 
+std::uint32_t FlowLink::acquire_slot() {
+  if (free_head_ != 0xffffffffu) {
+    const std::uint32_t slot = free_head_;
+    TransferData& data = slab(slot);
+    free_head_ = data.next_free;
+    data.next_free = 0xffffffffu;
+    return slot;
+  }
+  if ((slab_count_ >> kSlabBlockShift) == slab_blocks_.size()) {
+    slab_blocks_.push_back(std::make_unique<TransferData[]>(kSlabBlockSize));
+  }
+  return slab_count_++;
+}
+
+void FlowLink::release_slot(std::uint32_t slot) noexcept {
+  TransferData& data = slab(slot);
+  data.on_delivered = nullptr;
+  data.on_served = nullptr;
+  data.span = 0;
+  data.next_free = free_head_;
+  free_head_ = slot;
+}
+
 void FlowLink::start_transfer(Bytes bytes, CompletionCallback on_delivered,
                               CompletionCallback on_served) {
   if (bytes == 0) {
@@ -65,16 +89,30 @@ void FlowLink::start_transfer(Bytes bytes, CompletionCallback on_delivered,
     return;
   }
   advance_progress();
+  const std::uint32_t slot = acquire_slot();
+  TransferData& data = slab(slot);
+  data.total_bytes = bytes;
+  data.on_delivered = std::move(on_delivered);
+  data.on_served = std::move(on_served);
   transfers_.push_back(
-      Transfer{static_cast<double>(bytes), bytes, std::move(on_delivered), std::move(on_served)});
+      TransferKey{service_ + static_cast<double>(bytes), next_transfer_sequence_++, slot});
   if (telemetry_ready()) {
     auto& trace = telemetry::get()->trace();
-    transfers_.back().span = trace.begin_span(tel_track_, "xfer", sim_.now(),
-                                              telemetry::kv("bytes", static_cast<double>(bytes)));
+    data.span = trace.begin_span(tel_track_, "xfer", sim_.now(),
+                                 telemetry::kv("bytes", static_cast<double>(bytes)));
     trace.counter(tel_track_, "in_flight", sim_.now(),
                   static_cast<double>(transfers_.size()));
   }
-  reschedule_completion();
+  std::push_heap(transfers_.begin(), transfers_.end(), TargetLater{});
+  // A new transfer only slows the others down (equal sharing), so a pending
+  // completion event can now only be early — firing early is harmless (it
+  // pops nothing and re-arms with the exact same arithmetic). The event only
+  // has to move when the new transfer itself is the next to finish. This
+  // keeps a burst of starts at one timestamp O(1) per start instead of
+  // paying two divisions and a heap reshuffle each.
+  if (!completion_event_.valid() || transfers_.front().slot == slot) {
+    reschedule_completion();
+  }
 }
 
 void FlowLink::set_capacity(BytesPerSecond capacity) {
@@ -94,62 +132,114 @@ void FlowLink::advance_progress() {
   const Seconds now = sim_.now();
   const Seconds elapsed = now - last_update_;
   if (elapsed > 0 && !transfers_.empty()) {
-    const double progressed = current_rate() * elapsed;
-    for (auto& transfer : transfers_) {
-      transfer.remaining_bytes = std::max(0.0, transfer.remaining_bytes - progressed);
-    }
+    service_ += current_rate() * elapsed;
     busy_accum_ += elapsed;
   }
   last_update_ = now;
 }
 
 void FlowLink::reschedule_completion() {
-  sim_.cancel(completion_event_);
-  completion_event_ = EventId{};
-  if (transfers_.empty()) return;
-
-  double min_remaining = std::numeric_limits<double>::infinity();
-  for (const auto& transfer : transfers_) {
-    min_remaining = std::min(min_remaining, transfer.remaining_bytes);
+  if (transfers_.empty()) {
+    sim_.cancel(completion_event_);
+    completion_event_ = EventId{};
+    return;
   }
   const double rate = current_rate();
-  if (rate < kMinRate) return;  // stalled link; woken up by set_capacity()
+  if (rate < kMinRate) {  // stalled link; woken up by set_capacity()
+    sim_.cancel(completion_event_);
+    completion_event_ = EventId{};
+    return;
+  }
+  const double min_remaining = transfers_.front().finish_target - service_;
   const Seconds eta = std::max(std::max(0.0, min_remaining) / rate, kMinEta);
-  completion_event_ = sim_.schedule_after(eta, [this] { on_completion_event(); });
+  // Move the pending event in place when one exists; fall back to a fresh
+  // event otherwise. Both orderings are identical to cancel + schedule.
+  if (!sim_.reschedule(completion_event_, sim_.now() + eta)) {
+    completion_event_ = sim_.schedule_after(eta, [this] { on_completion_event(); });
+  }
 }
 
 void FlowLink::on_completion_event() {
   completion_event_ = EventId{};
   advance_progress();
-  // Collect callbacks first: a completion callback may start a new transfer
-  // on this very link, which must not observe a half-updated state.
-  std::vector<Transfer> done;
-  for (auto it = transfers_.begin(); it != transfers_.end();) {
-    if (it->remaining_bytes <= kResidualEpsilonBytes) {
-      bytes_delivered_ += it->total_bytes;
-      done.push_back(std::move(*it));
-      it = transfers_.erase(it);
-    } else {
-      ++it;
+  // Collect completed transfers first: a completion callback may start a new
+  // transfer on this very link, which must not observe a half-updated state.
+  // The heap pops by (target, sequence); same-event completions must fire in
+  // FIFO start order, so collect (sequence, slot) pairs and sort.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>>& done = done_scratch_;
+  done.clear();
+  bool all_done = !transfers_.empty();
+  for (const TransferKey& key : transfers_) {
+    if (key.finish_target - service_ > kResidualEpsilonBytes) {
+      all_done = false;
+      break;
     }
   }
+  if (all_done) {
+    // Equal-share links routinely finish every transfer at once (transfers
+    // started together with equal sizes); take them all without heap pops.
+    done.reserve(transfers_.size());
+    for (const TransferKey& key : transfers_) {
+      bytes_delivered_ += slab(key.slot).total_bytes;
+      done.emplace_back(key.sequence, key.slot);
+    }
+    transfers_.clear();
+  } else {
+    while (!transfers_.empty() &&
+           transfers_.front().finish_target - service_ <= kResidualEpsilonBytes) {
+      std::pop_heap(transfers_.begin(), transfers_.end(), TargetLater{});
+      bytes_delivered_ += slab(transfers_.back().slot).total_bytes;
+      done.emplace_back(transfers_.back().sequence, transfers_.back().slot);
+      transfers_.pop_back();
+    }
+  }
+  // Both collection paths emit in (target, sequence) pop order, which for
+  // same-event completions is almost always already sequence-sorted (heap
+  // pushes with equal targets keep insertion order) — check before sorting.
+  if (!std::is_sorted(done.begin(), done.end())) std::sort(done.begin(), done.end());
   if (!done.empty() && telemetry_ready()) {
     auto& trace = telemetry::get()->trace();
     Bytes done_bytes = 0;
-    for (const auto& transfer : done) {
-      trace.end_span(transfer.span, sim_.now());
-      done_bytes += transfer.total_bytes;
+    for (const auto& [sequence, slot] : done) {
+      trace.end_span(slab(slot).span, sim_.now());
+      done_bytes += slab(slot).total_bytes;
     }
     trace.counter(tel_track_, "in_flight", sim_.now(), static_cast<double>(transfers_.size()));
     tel_bytes_->add(static_cast<double>(done_bytes));
     tel_busy_->set(busy_time());
   }
   reschedule_completion();
-  for (auto& transfer : done) {
-    if (transfer.on_served) transfer.on_served();
-    if (transfer.on_delivered) {
-      sim_.schedule_after(alpha_, std::move(transfer.on_delivered));
+  // Every delivery from this event lands at exactly now + alpha, so they
+  // share one simulator event instead of one each; the batch preserves FIFO
+  // order. A lone delivery (the common pipelined case) skips the batch
+  // vector and rides the event slot directly; the batch vector is sized
+  // exactly once and moves into the event inline (24-byte capture).
+  CompletionCallback first_delivery;
+  std::vector<CompletionCallback> batch;
+  for (const auto& [sequence, slot] : done) {
+    TransferData& data = slab(slot);
+    CompletionCallback on_served = std::move(data.on_served);
+    CompletionCallback on_delivered = std::move(data.on_delivered);
+    release_slot(slot);  // before firing: the callback may start a transfer
+    if (on_served) on_served();
+    if (on_delivered) {
+      if (!first_delivery && batch.empty()) {
+        first_delivery = std::move(on_delivered);
+      } else {
+        if (batch.empty()) {
+          batch.reserve(done.size());
+          batch.push_back(std::move(first_delivery));
+        }
+        batch.push_back(std::move(on_delivered));
+      }
     }
+  }
+  if (!batch.empty()) {
+    sim_.schedule_after(alpha_, [batch = std::move(batch)]() mutable {
+      for (CompletionCallback& callback : batch) callback();
+    });
+  } else if (first_delivery) {
+    sim_.schedule_after(alpha_, std::move(first_delivery));
   }
 }
 

@@ -7,12 +7,23 @@
 // used throughout the paper. Rates are recomputed only when a transfer
 // starts or finishes or the capacity changes (event-driven, not time-stepped)
 // so long training simulations stay tractable.
+//
+// Progress is tracked with cumulative-service ("virtual work") accounting:
+// because equal sharing gives every in-flight transfer the same
+// instantaneous rate, one monotone per-link service counter (bytes served to
+// each transfer so far) describes all of them. A transfer entering when the
+// counter reads S with B bytes finishes when the counter reaches S + B — a
+// fixed target computed once. Targets live in a min-heap, so an event
+// advances the link in O(1) (bump the counter) and a completion costs
+// O(log n), instead of the O(n) per-transfer countdown + O(n) rescan that
+// made draining n shared transfers O(n^2).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <list>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/simulator.h"
 #include "telemetry/fwd.h"
@@ -22,7 +33,10 @@ namespace adapcc::sim {
 
 class FlowLink {
  public:
-  using CompletionCallback = std::function<void()>;
+  /// Move-only small-buffer callable (see inline_callback.h): transfer
+  /// callbacks flow straight into simulator event slots without the
+  /// double indirection and allocation of a std::function wrapper.
+  using CompletionCallback = InlineCallback;
 
   /// `alpha` is the per-transfer latency; `capacity` the full-link bandwidth.
   /// `per_transfer_cap` bounds the rate any single transfer can reach even
@@ -61,13 +75,39 @@ class FlowLink {
   Seconds busy_time() const noexcept;
 
  private:
-  struct Transfer {
-    double remaining_bytes;
-    Bytes total_bytes;
+  /// Heap key of one in-flight transfer. `finish_target` is the
+  /// cumulative-service reading at which the transfer is fully serviced
+  /// (service counter at enqueue + total bytes), fixed at start_transfer.
+  /// Kept small and separate from the callbacks so heap maintenance moves
+  /// 24-byte keys, not std::function pairs.
+  struct TransferKey {
+    double finish_target;
+    std::uint64_t sequence;  ///< insertion order; callbacks fire FIFO
+    std::uint32_t slot;      ///< index into slab_
+  };
+  struct TransferData {
+    Bytes total_bytes = 0;
     CompletionCallback on_delivered;
     CompletionCallback on_served;
     telemetry::SpanId span = 0;  ///< open "xfer" trace span, 0 when disabled
+    std::uint32_t next_free = 0xffffffffu;
   };
+  struct TargetLater {  // min-heap on (finish_target, sequence)
+    bool operator()(const TransferKey& a, const TransferKey& b) const noexcept {
+      if (a.finish_target != b.finish_target) return a.finish_target > b.finish_target;
+      return a.sequence > b.sequence;
+    }
+  };
+  /// TransferData lives in stable fixed-size blocks (16 entries each) so
+  /// slab growth never move-constructs existing entries (each holds two
+  /// callbacks) and a link carrying a handful of concurrent transfers
+  /// allocates one small block, not a page.
+  static constexpr std::uint32_t kSlabBlockShift = 4;
+  static constexpr std::uint32_t kSlabBlockSize = 1u << kSlabBlockShift;
+
+  TransferData& slab(std::uint32_t index) noexcept {
+    return slab_blocks_[index >> kSlabBlockShift][index & (kSlabBlockSize - 1)];
+  }
 
   /// Re-resolves cached telemetry handles when the telemetry epoch changed;
   /// returns false when telemetry is disabled. Keeps the per-event cost at
@@ -76,18 +116,34 @@ class FlowLink {
 
   /// Instantaneous per-transfer rate under equal sharing and the cap.
   double current_rate() const noexcept;
-  /// Applies progress accrued since `last_update_` to all transfers.
+  /// Accrues service since `last_update_` onto the per-link counter — O(1)
+  /// regardless of how many transfers share the link.
   void advance_progress();
-  /// (Re)schedules the completion event for the earliest-finishing transfer.
+  /// (Re)schedules the completion event for the earliest-finishing transfer
+  /// (the heap root).
   void reschedule_completion();
   void on_completion_event();
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot) noexcept;
 
   Simulator& sim_;
   std::string name_;
   Seconds alpha_;
   BytesPerSecond capacity_;
   BytesPerSecond per_transfer_cap_;
-  std::list<Transfer> transfers_;
+  std::vector<TransferKey> transfers_;  ///< min-heap (TargetLater) of in-flight transfers
+  std::vector<std::unique_ptr<TransferData[]>> slab_blocks_;  ///< callback storage, free-listed
+  std::uint32_t slab_count_ = 0;
+  std::uint32_t free_head_ = 0xffffffffu;
+  /// Scratch for on_completion_event's completed-(sequence, slot) list;
+  /// a member so steady-state pipelines reuse its capacity instead of
+  /// paying a vector allocation per completion event. Safe because
+  /// on_completion_event never reenters (it only runs from the simulator
+  /// event loop and callbacks fire after the list is fully built).
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> done_scratch_;
+  double service_ = 0.0;  ///< cumulative per-transfer service, bytes
+  std::uint64_t next_transfer_sequence_ = 0;
   Seconds last_update_ = 0.0;
   EventId completion_event_{};
   Bytes bytes_delivered_ = 0;
@@ -95,6 +151,11 @@ class FlowLink {
 
   // Telemetry handles, resolved lazily per telemetry epoch (see
   // telemetry::epoch()); raw pointers stay valid for the epoch's lifetime.
+  // Metric/track names are precomputed once so an epoch bump does not
+  // rebuild strings on the hot path.
+  std::string tel_track_name_;
+  std::string tel_bytes_name_;
+  std::string tel_busy_name_;
   std::uint64_t tel_epoch_ = 0;
   telemetry::TrackId tel_track_ = telemetry::kInvalidTrack;
   telemetry::Counter* tel_bytes_ = nullptr;

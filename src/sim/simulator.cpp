@@ -5,12 +5,114 @@
 
 namespace adapcc::sim {
 
+namespace {
+// EventId layout: generation in the high 32 bits (always >= 1, so a valid id
+// is never 0), slot index in the low 32 bits.
+std::uint64_t encode(std::uint32_t slot, std::uint32_t generation) {
+  return (static_cast<std::uint64_t>(generation) << 32) | slot;
+}
+}  // namespace
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNone) {
+    const std::uint32_t index = free_head_;
+    Slot& s = slot(index);
+    free_head_ = s.next_free;
+    s.next_free = kNone;
+    return index;
+  }
+  if ((slot_count_ >> kSlotBlockShift) == slot_blocks_.size()) {
+    slot_blocks_.push_back(std::make_unique<Slot[]>(kSlotBlockSize));
+    slot_pos_.resize(slot_pos_.size() + kSlotBlockSize, kNone);
+  }
+  return slot_count_++;
+}
+
+void Simulator::release_slot(std::uint32_t index) noexcept {
+  Slot& s = slot(index);
+  s.callback.reset();
+  slot_pos_[index] = kNone;
+  ++s.generation;  // invalidates outstanding EventIds for this slot
+  s.next_free = free_head_;
+  free_head_ = index;
+}
+
+void Simulator::pad_heap() {
+  if (heap_.size() < heap_size_ + 5) heap_.resize(heap_size_ + 5, kSentinel);
+}
+
+std::uint32_t Simulator::min_child(std::uint32_t first_child) const noexcept {
+  const HeapEntry* h = heap_.data();
+  const std::uint32_t a = earlier(h[first_child + 1], h[first_child]) ? first_child + 1
+                                                                      : first_child;
+  const std::uint32_t b = earlier(h[first_child + 3], h[first_child + 2]) ? first_child + 3
+                                                                          : first_child + 2;
+  return earlier(h[b], h[a]) ? b : a;
+}
+
+void Simulator::sift_up(std::uint32_t pos, HeapEntry entry) noexcept {
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 4;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slot_pos_[heap_[pos].slot] = pos;
+    pos = parent;
+  }
+  heap_[pos] = entry;
+  slot_pos_[entry.slot] = pos;
+}
+
+void Simulator::sift_down(std::uint32_t pos, HeapEntry entry) noexcept {
+  for (;;) {
+    const std::uint32_t first_child = pos * 4 + 1;
+    if (first_child >= heap_size_) break;
+    const std::uint32_t best = min_child(first_child);
+    if (!earlier(heap_[best], entry)) break;
+    heap_[pos] = heap_[best];
+    slot_pos_[heap_[pos].slot] = pos;
+    pos = best;
+  }
+  heap_[pos] = entry;
+  slot_pos_[entry.slot] = pos;
+}
+
+void Simulator::pop_root() noexcept {
+  --heap_size_;
+  const HeapEntry moved = heap_[heap_size_];
+  heap_[heap_size_] = kSentinel;
+  if (heap_size_ == 0) return;
+  std::uint32_t pos = 0;
+  for (;;) {
+    const std::uint32_t first_child = pos * 4 + 1;
+    if (first_child >= heap_size_) break;
+    const std::uint32_t best = min_child(first_child);
+    heap_[pos] = heap_[best];
+    slot_pos_[heap_[pos].slot] = pos;
+    pos = best;
+  }
+  sift_up(pos, moved);
+}
+
+void Simulator::heap_remove(std::uint32_t pos) noexcept {
+  --heap_size_;
+  const std::uint32_t last = heap_size_;
+  const HeapEntry moved = heap_[last];
+  heap_[last] = kSentinel;
+  if (pos != last) {
+    // The moved entry may need to travel either direction.
+    sift_up(pos, moved);
+    sift_down(slot_pos_[moved.slot], moved);
+  }
+}
+
 EventId Simulator::schedule_at(Seconds when, EventCallback callback) {
   if (when < now_) throw std::invalid_argument("schedule_at: time in the past");
-  const std::uint64_t id = next_sequence_++;
-  queue_.push(Entry{when, id, std::move(callback)});
-  live_ids_.insert(id);
-  return EventId{id};
+  const std::uint32_t index = acquire_slot();
+  Slot& s = slot(index);
+  s.callback = std::move(callback);
+  pad_heap();
+  sift_up(heap_size_++, HeapEntry{when, next_sequence_++, index});
+  return EventId{encode(index, s.generation)};
 }
 
 EventId Simulator::schedule_after(Seconds delay, EventCallback callback) {
@@ -19,20 +121,50 @@ EventId Simulator::schedule_after(Seconds delay, EventCallback callback) {
 }
 
 void Simulator::cancel(EventId id) noexcept {
-  if (id.valid()) live_ids_.erase(id.value);
+  if (!id.valid()) return;
+  const std::uint32_t index = static_cast<std::uint32_t>(id.value & 0xffffffffu);
+  const std::uint32_t generation = static_cast<std::uint32_t>(id.value >> 32);
+  if (index >= slot_count_) return;
+  Slot& s = slot(index);
+  if (s.generation != generation || slot_pos_[index] == kNone) return;  // fired or recycled
+  heap_remove(slot_pos_[index]);
+  release_slot(index);
+}
+
+bool Simulator::reschedule(EventId id, Seconds when) {
+  if (!id.valid()) return false;
+  const std::uint32_t index = static_cast<std::uint32_t>(id.value & 0xffffffffu);
+  const std::uint32_t generation = static_cast<std::uint32_t>(id.value >> 32);
+  if (index >= slot_count_) return false;
+  Slot& s = slot(index);
+  if (s.generation != generation || slot_pos_[index] == kNone) return false;
+  if (when < now_) throw std::invalid_argument("reschedule: time in the past");
+  const std::uint32_t pos = slot_pos_[index];
+  // Fresh sequence: ties at the new time fire after events already there,
+  // exactly as cancel + schedule_at would order them.
+  const HeapEntry entry{when, next_sequence_++, index};
+  sift_up(pos, entry);
+  sift_down(slot_pos_[index], entry);
+  return true;
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    if (live_ids_.erase(entry.sequence) == 0) continue;  // was cancelled
-    now_ = entry.when;
-    ++events_processed_;
-    entry.callback();
-    return true;
-  }
-  return false;
+  if (heap_size_ == 0) return false;
+  const HeapEntry top = heap_[0];
+  now_ = top.when;
+  pop_root();
+  // Mark fired before invoking so the callback sees its own id as spent
+  // (cancel is a no-op, reschedule returns false) — same contract as the
+  // old move-out-then-release order.
+  slot_pos_[top.slot] = kNone;
+  ++events_processed_;
+  Slot& s = slot(top.slot);
+  // Invoke in place: slots live in stable blocks and this one cannot be
+  // recycled until release_slot below, so the callback may freely schedule
+  // new events without invalidating `s`.
+  if (s.callback) s.callback();
+  release_slot(top.slot);
+  return true;
 }
 
 void Simulator::run() {
@@ -42,13 +174,7 @@ void Simulator::run() {
 
 std::size_t Simulator::run_until(Seconds deadline) {
   std::size_t processed = 0;
-  while (!queue_.empty()) {
-    // Drop cancelled entries without advancing time.
-    if (!live_ids_.contains(queue_.top().sequence)) {
-      queue_.pop();
-      continue;
-    }
-    if (queue_.top().when > deadline) break;
+  while (heap_size_ != 0 && heap_[0].when <= deadline) {
     if (step()) ++processed;
   }
   if (now_ < deadline) now_ = deadline;

@@ -4,21 +4,31 @@
 // streams, the coordinator's timers and the training loop all advance on one
 // Simulator instance. Events are callbacks scheduled at absolute simulated
 // times; ties are broken by insertion order so runs are deterministic.
+//
+// The queue is an indexed 4-ary min-heap: heap entries carry their sort key
+// (when, sequence) inline so comparisons stay in contiguous memory, plus the
+// index of a slab slot holding the callback. Every slot tracks its heap
+// position, so cancel() and reschedule() fix the entry in place in O(log n)
+// — no tombstones linger, pending_events() is exact, and slots are recycled
+// through a free list so schedule/cancel cycles do not grow memory.
+// Callbacks are InlineCallback (small-buffer optimized), so the hot path
+// performs no heap allocation per event.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <limits>
+#include <memory>
 #include <vector>
 
+#include "sim/inline_callback.h"
 #include "util/units.h"
 
 namespace adapcc::sim {
 
-using EventCallback = std::function<void()>;
+using EventCallback = InlineCallback;
 
-/// Opaque handle for cancelling a scheduled event.
+/// Opaque handle for cancelling a scheduled event. Encodes the slab slot and
+/// its generation, so a handle kept past the event's firing safely misses.
 struct EventId {
   std::uint64_t value = 0;
   bool valid() const noexcept { return value != 0; }
@@ -38,9 +48,20 @@ class Simulator {
   /// Schedules `callback` `delay` seconds from now (delay must be >= 0).
   EventId schedule_after(Seconds delay, EventCallback callback);
 
-  /// Cancels a pending event. Cancelling an already-fired or invalid id is a
-  /// no-op, which keeps completion-event bookkeeping simple for callers.
+  /// Cancels a pending event in place (O(log n)). Cancelling an
+  /// already-fired or invalid id is a no-op, which keeps completion-event
+  /// bookkeeping simple for callers.
   void cancel(EventId id) noexcept;
+
+  /// Moves a pending event to absolute time `when` (must be >= now()),
+  /// keeping its callback — equivalent to cancel + schedule_at with the same
+  /// callback (the event re-enters the FIFO tie-break order as if newly
+  /// scheduled) but without releasing the slot or touching the callback.
+  /// Returns false when the id has already fired or was cancelled; the
+  /// caller then schedules a fresh event. This is the fast path for
+  /// FlowLink::reschedule_completion, which moves its completion event on
+  /// every start_transfer / set_capacity.
+  bool reschedule(EventId id, Seconds when);
 
   /// Runs until the event queue is empty.
   void run();
@@ -52,27 +73,91 @@ class Simulator {
   /// Executes the single next event, if any. Returns false when idle.
   bool step();
 
-  std::size_t pending_events() const noexcept { return live_ids_.size(); }
+  /// Exact count of scheduled, not-yet-fired, not-cancelled events.
+  std::size_t pending_events() const noexcept { return heap_size_; }
+  /// Heap entries currently live — equals pending_events(): cancelled
+  /// events leave no dead entries behind (regression guard for the old
+  /// tombstone design).
+  std::size_t heap_size() const noexcept { return heap_size_; }
+  /// Slab slots ever allocated; bounded by the peak number of concurrently
+  /// pending events, not by the schedule/cancel count.
+  std::size_t slot_capacity() const noexcept { return slot_count_; }
   std::uint64_t events_processed() const noexcept { return events_processed_; }
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  struct HeapEntry {
     Seconds when;
-    std::uint64_t sequence;  // doubles as the event id; FIFO tie-break
+    std::uint64_t sequence;  ///< FIFO tie-break for equal timestamps
+    std::uint32_t slot;
+  };
+  /// Padding value beyond the live heap prefix; loses every comparison
+  /// against a real entry, so min_child needs no bounds branches.
+  static constexpr HeapEntry kSentinel{std::numeric_limits<Seconds>::infinity(),
+                                       std::numeric_limits<std::uint64_t>::max(), 0xffffffffu};
+  struct Slot {  // callback first: 56 + 4 + 4 = one 64-byte line per slot
     EventCallback callback;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNone;
   };
-  struct EntryLater {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.sequence > b.sequence;
-    }
-  };
+  /// Slots live in stable fixed-size blocks, never a growable vector:
+  /// vector growth would move-construct every existing Slot (a callback
+  /// steal each), and stable addresses let step() invoke a callback in
+  /// place while it schedules new events. 64 slots x 64 bytes = one 4 KiB
+  /// block — small enough that a tiny simulation initializes one page,
+  /// indexed with a shift and a mask.
+  static constexpr std::uint32_t kSlotBlockShift = 6;
+  static constexpr std::uint32_t kSlotBlockSize = 1u << kSlotBlockShift;
+
+  Slot& slot(std::uint32_t index) noexcept {
+    return slot_blocks_[index >> kSlotBlockShift][index & (kSlotBlockSize - 1)];
+  }
+
+  /// Strict ordering on (when, sequence). Written with bitwise operators so
+  /// it compiles to flag arithmetic, not short-circuit branches — the child
+  /// comparisons in sift_down are data-dependent and would mispredict.
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) noexcept {
+    return (a.when < b.when) |
+           (static_cast<int>(a.when == b.when) & static_cast<int>(a.sequence < b.sequence));
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot) noexcept;
+  /// Index of the least of the (up to four) children of `pos`. Sentinel
+  /// padding guarantees four readable entries, so the selection is a
+  /// branch-free three-comparison tournament.
+  std::uint32_t min_child(std::uint32_t first_child) const noexcept;
+  /// Places `entry` at `pos`, bubbling it toward the root while smaller than
+  /// its parent. Maintains the slot -> heap position links.
+  void sift_up(std::uint32_t pos, HeapEntry entry) noexcept;
+  /// Places `entry` at `pos`, sinking it while larger than its least child.
+  void sift_down(std::uint32_t pos, HeapEntry entry) noexcept;
+  void heap_remove(std::uint32_t pos) noexcept;
+  /// Removes the root (the hot pop in step()): sinks the hole along the
+  /// min-child path to a leaf, then bubbles the displaced last entry up from
+  /// there. Skips the per-level "done yet?" comparison of a classic
+  /// sift-down; since the last entry of a near-sorted workload belongs at
+  /// the bottom anyway, the bubble-up usually terminates immediately.
+  void pop_root() noexcept;
+  /// Grows heap_ so indices [heap_size_, heap_size_+4] are readable and
+  /// keeps everything past the live prefix at the +inf sentinel.
+  void pad_heap();
 
   Seconds now_ = 0.0;
   std::uint64_t next_sequence_ = 1;
   std::uint64_t events_processed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
-  std::unordered_set<std::uint64_t> live_ids_;  // scheduled and not yet fired/cancelled
+  std::vector<std::unique_ptr<Slot[]>> slot_blocks_;
+  std::uint32_t slot_count_ = 0;
+  /// Heap position of each slot's entry (kNone when free / fired). Kept as a
+  /// dense side array — sift operations rewrite these constantly, and a
+  /// 4-byte lane stays cache-resident where the 64-byte Slot would not.
+  std::vector<std::uint32_t> slot_pos_;
+  /// 4-ary min-heap. The live prefix is heap_size_ entries; the vector is
+  /// padded with +inf sentinels so min_child can always read four children.
+  std::vector<HeapEntry> heap_;
+  std::uint32_t heap_size_ = 0;
+  std::uint32_t free_head_ = kNone;
 };
 
 }  // namespace adapcc::sim

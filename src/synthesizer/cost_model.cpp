@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <stdexcept>
 
-#include "collective/behavior.h"
 #include "collective/primitive.h"
 #include "topology/hardware.h"
 
@@ -74,17 +72,7 @@ const topology::LogicalEdge& profiled_edge(const LogicalTopology& topo, NodeId f
   return edge;
 }
 
-/// Aggregate traffic loads per NIC port: network-edge bandwidth is shared
-/// at the instance's egress and ingress, not per logical edge, so three
-/// composite GPU-GPU edges into one server contend for one ingress port.
-/// The port's own capacity matters too: a flow's rate is the bottleneck of
-/// (egress capacity / egress load, ingress capacity / ingress load).
-struct PortState {
-  std::unordered_map<int, double> egress_load;
-  std::unordered_map<int, double> ingress_load;
-  std::unordered_map<int, double> egress_beta;   // 1 / port capacity
-  std::unordered_map<int, double> ingress_beta;
-};
+}  // namespace
 
 PortState compute_port_state(const LogicalTopology& topo, const LinkLoads& loads) {
   PortState ports;
@@ -112,99 +100,6 @@ PortState compute_port_state(const LogicalTopology& topo, const LinkLoads& loads
   return ports;
 }
 
-struct CostContext {
-  const LogicalTopology& topo;
-  const LinkLoads& loads;
-  PortState ports;
-};
-
-/// Effective beta of an edge under shared bandwidth (Eq. 3): the worst of
-/// the single-stream rate, the loaded edge rate, the shared egress port and
-/// the shared ingress port.
-double effective_beta(const CostContext& ctx, NodeId from, NodeId to) {
-  const auto& edge = profiled_edge(ctx.topo, from, to);
-  const auto it = ctx.loads.find(EdgeKey{from, to});
-  const double edge_load = it == ctx.loads.end() ? 1.0 : std::max(1.0, it->second);
-  // One flow can never exceed a single stream's rate (edge.beta); several
-  // flows share the port capacity (effective_port_beta). On RDMA the two
-  // coincide; on TCP parallel streams beat one capped stream (Sec. VI-D).
-  double beta_eff = std::max(edge.beta, edge.effective_port_beta() * edge_load);
-  if (edge.type == topology::EdgeType::kNetwork && ctx.topo.has_placement(from) &&
-      ctx.topo.has_placement(to)) {
-    const int src = ctx.topo.instance_of(from);
-    const int dst = ctx.topo.instance_of(to);
-    const auto eg_load = ctx.ports.egress_load.find(src);
-    const auto eg_beta = ctx.ports.egress_beta.find(src);
-    if (eg_load != ctx.ports.egress_load.end() && eg_beta != ctx.ports.egress_beta.end()) {
-      beta_eff = std::max(beta_eff, eg_beta->second * eg_load->second);
-    }
-    const auto in_load = ctx.ports.ingress_load.find(dst);
-    const auto in_beta = ctx.ports.ingress_beta.find(dst);
-    if (in_load != ctx.ports.ingress_load.end() && in_beta != ctx.ports.ingress_beta.end()) {
-      beta_eff = std::max(beta_eff, in_beta->second * in_load->second);
-    }
-  }
-  return beta_eff;
-}
-
-/// First-chunk time across an edge (fills the pipeline): latency plus the
-/// serialized transfer.
-Seconds edge_chunk_time(const CostContext& ctx, NodeId from, NodeId to, Bytes chunk) {
-  const auto& edge = profiled_edge(ctx.topo, from, to);
-  return edge.alpha + effective_beta(ctx, from, to) * static_cast<double>(chunk);
-}
-
-/// Steady-state pipeline period of an edge: latency is hidden by the
-/// chunked pipeline (the Communicator overlaps copies, events and network
-/// propagation, Sec. V-B), so only serialization bounds the period — with a
-/// floor of one kernel-launch/event overhead per chunk.
-Seconds edge_period(const CostContext& ctx, NodeId from, NodeId to, Bytes chunk) {
-  return std::max(effective_beta(ctx, from, to) * static_cast<double>(chunk),
-                  topology::kernel_launch_overhead());
-}
-
-struct TreeTiming {
-  Seconds h_root = 0.0;        ///< ready time of the first chunk at the root
-  Seconds max_bottleneck = 0;  ///< worst per-chunk step across flows
-};
-
-/// Eq. 2 evaluated bottom-up for a reduce-direction tree; returns the root
-/// chunk-ready time and the bottleneck step.
-TreeTiming reduce_timing(const SubCollective& sub, Primitive primitive, const CostContext& ctx,
-                         Bytes chunk, const std::set<int>& active_ranks) {
-  TreeTiming timing;
-  // Recursive lambda over the tree.
-  const std::function<Seconds(NodeId)> visit = [&](NodeId node) -> Seconds {
-    Seconds h = 0.0;  // local data ready at time zero
-    for (const NodeId child : sub.tree.children_of(node)) {
-      if (collective::active_in_subtree(sub.tree, child, active_ranks) == 0) continue;
-      const Seconds t = edge_chunk_time(ctx, child, node, chunk);
-      timing.max_bottleneck = std::max(timing.max_bottleneck, edge_period(ctx, child, node, chunk));
-      h = std::max(h, visit(child) + t);
-    }
-    return h;
-  };
-  timing.h_root = visit(sub.tree.root);
-  return timing;
-}
-
-/// Broadcast: per-flow path times from root to each leaf (no waiting).
-TreeTiming broadcast_timing(const SubCollective& sub, const CostContext& ctx, Bytes chunk) {
-  TreeTiming timing;
-  const std::function<void(NodeId, Seconds)> visit = [&](NodeId node, Seconds h) {
-    timing.h_root = std::max(timing.h_root, h);  // re-used as max leaf arrival
-    for (const NodeId child : sub.tree.children_of(node)) {
-      const Seconds t = edge_chunk_time(ctx, node, child, chunk);
-      timing.max_bottleneck = std::max(timing.max_bottleneck, edge_period(ctx, node, child, chunk));
-      visit(child, h + t);
-    }
-  };
-  visit(sub.tree.root, 0.0);
-  return timing;
-}
-
-}  // namespace
-
 LinkLoads compute_link_loads(const Strategy& strategy, const std::set<int>& active_ranks) {
   LinkLoads loads;
   for (const auto& sub : strategy.subs) {
@@ -231,59 +126,290 @@ LinkLoads compute_link_loads(const Strategy& strategy, const std::set<int>& acti
 
 Seconds estimate_completion_time(const Strategy& strategy, const LogicalTopology& topo,
                                  Bytes tensor_bytes, const std::set<int>& active_ranks) {
-  std::set<int> active = active_ranks;
-  if (active.empty()) active.insert(strategy.participants.begin(), strategy.participants.end());
-  const LinkLoads loads = compute_link_loads(strategy, active);
-  const CostContext ctx{topo, loads, compute_port_state(topo, loads)};
+  return CostEvaluator(strategy, topo, tensor_bytes, active_ranks).completion_time();
+}
 
+CostEvaluator::CostEvaluator(const Strategy& strategy, const LogicalTopology& topo,
+                             Bytes tensor_bytes, const std::set<int>& active_ranks)
+    : strategy_(strategy),
+      topo_(topo),
+      tensor_bytes_(tensor_bytes),
+      active_(active_ranks),
+      kernel_overhead_(topology::kernel_launch_overhead()) {
+  if (active_.empty()) active_.insert(strategy.participants.begin(), strategy.participants.end());
+  subs_.resize(strategy_.subs.size());
+  for (std::size_t s = 0; s < strategy_.subs.size(); ++s) {
+    build_sub_state(strategy_.subs[s], subs_[s]);
+  }
+  build_loads();
+  ports_ = compute_port_state(topo_, loads_);
+  // Only now are loads_ and ports_ final; unordered_map values are never
+  // inserted or erased after this point, so EdgeInfo may hold raw pointers.
+  resolve_edges();
+}
+
+void CostEvaluator::build_sub_state(const SubCollective& sub, SubState& st) const {
+  if (strategy_.primitive == Primitive::kAllToAll) return;  // flow-based, no tree
+  const Tree& tree = sub.tree;
+  // Children adjacency sorted per parent — the same order (and therefore the
+  // same arithmetic) Tree::children_of produces for the recursive walks.
+  std::unordered_map<NodeId, std::vector<NodeId>> children;
+  for (const auto& [child, parent] : tree.parent) children[parent].push_back(child);
+  for (auto& [node, kids] : children) std::sort(kids.begin(), kids.end());
+
+  st.order.push_back(tree.root);
+  st.index.emplace(tree.root, 0);
+  st.parent.push_back(-1);
+  for (std::size_t i = 0; i < st.order.size(); ++i) {
+    const auto it = children.find(st.order[i]);
+    if (it == children.end()) continue;
+    for (const NodeId child : it->second) {
+      if (st.index.contains(child)) continue;  // malformed cycle: visit once
+      st.index.emplace(child, static_cast<int>(st.order.size()));
+      st.parent.push_back(static_cast<int>(i));
+      st.order.push_back(child);
+    }
+  }
+
+  const int n = static_cast<int>(st.order.size());
+  st.active_below.assign(n, 0);
+  st.inputs.assign(n, 0);
+  st.out.assign(n, 0);
+  st.visited.assign(n, 0);
+  st.h.assign(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const NodeId node = st.order[i];
+    const int own = node.is_gpu() && active_.contains(node.index) ? 1 : 0;
+    st.active_below[i] = own;
+    st.inputs[i] = own;
+  }
+  // Breadth-first order puts every parent before its children, so one
+  // reverse sweep evaluates the reduce_out_messages recurrence bottom-up.
+  for (int i = n - 1; i >= 0; --i) {
+    st.out[i] = st.inputs[i] == 0
+                    ? 0
+                    : (sub.aggregates_at(st.order[i], strategy_.primitive) ? 1 : st.inputs[i]);
+    if (st.parent[i] >= 0) {
+      st.active_below[st.parent[i]] += st.active_below[i];
+      st.inputs[st.parent[i]] += st.out[i];
+    }
+  }
+  // Reduce timing prunes subtrees with no active GPU; precompute which nodes
+  // it reaches (the toggle search cannot change this — it only flips
+  // aggregation, never membership).
+  st.visited[0] = 1;
+  for (int i = 1; i < n; ++i) {
+    st.visited[i] = static_cast<char>(st.visited[st.parent[i]] != 0 && st.active_below[i] > 0);
+  }
+}
+
+void CostEvaluator::build_loads() {
+  const auto add_reduce = [&](const SubCollective& sub, const SubState& st) {
+    for (const auto& [child, parent] : sub.tree.parent) {
+      const auto it = st.index.find(child);
+      const int out = it == st.index.end() ? 0 : st.out[it->second];
+      if (out == 0) continue;
+      loads_[EdgeKey{child, parent}] += static_cast<double>(out);
+    }
+  };
+  const auto add_broadcast = [&](const SubCollective& sub) {
+    for (const auto& [child, parent] : sub.tree.parent) loads_[EdgeKey{parent, child}] += 1.0;
+  };
+  for (std::size_t s = 0; s < strategy_.subs.size(); ++s) {
+    const auto& sub = strategy_.subs[s];
+    switch (strategy_.primitive) {
+      case Primitive::kReduce:
+      case Primitive::kReduceScatter:
+        add_reduce(sub, subs_[s]);
+        break;
+      case Primitive::kBroadcast:
+      case Primitive::kAllGather:
+        add_broadcast(sub);
+        break;
+      case Primitive::kAllReduce:
+        add_reduce(sub, subs_[s]);
+        add_broadcast(sub);
+        break;
+      case Primitive::kAllToAll:
+        add_flow_loads(sub, loads_);
+        break;
+    }
+  }
+}
+
+void CostEvaluator::resolve_edges() {
+  for (std::size_t s = 0; s < strategy_.subs.size(); ++s) {
+    const auto& sub = strategy_.subs[s];
+    SubState& st = subs_[s];
+    if (strategy_.primitive == Primitive::kAllToAll) {
+      st.flow_edges.reserve(sub.flows.size());
+      for (const auto& flow : sub.flows) {
+        std::vector<EdgeInfo> path;
+        for (std::size_t i = 0; i + 1 < flow.path.size(); ++i) {
+          path.push_back(make_edge(flow.path[i], flow.path[i + 1]));
+        }
+        st.flow_edges.push_back(std::move(path));
+      }
+      continue;
+    }
+    const bool wants_up = strategy_.primitive != Primitive::kBroadcast &&
+                          strategy_.primitive != Primitive::kAllGather;
+    const bool wants_down = strategy_.primitive != Primitive::kReduce &&
+                            strategy_.primitive != Primitive::kReduceScatter;
+    const int n = static_cast<int>(st.order.size());
+    if (wants_up) st.up.resize(n);
+    if (wants_down) st.down.resize(n);
+    for (int i = 1; i < n; ++i) {
+      const NodeId node = st.order[i];
+      const NodeId parent = st.order[st.parent[i]];
+      if (wants_up) st.up[i] = make_edge(node, parent);
+      if (wants_down) st.down[i] = make_edge(parent, node);
+    }
+  }
+}
+
+CostEvaluator::EdgeInfo CostEvaluator::make_edge(NodeId from, NodeId to) {
+  EdgeInfo e;
+  e.from = from;
+  e.to = to;
+  const auto load_it = loads_.find(EdgeKey{from, to});
+  if (load_it != loads_.end()) e.load = &load_it->second;
+  if (!topo_.has_edge(from, to)) return e;  // throws at first use, not here
+  const auto& edge = topo_.edge(from, to);
+  if (edge.profiled && edge.beta > 0) {
+    e.valid = true;
+    e.alpha = edge.alpha;
+    e.beta = edge.beta;
+    e.port_beta = edge.effective_port_beta();
+  }
+  if (edge.type == topology::EdgeType::kNetwork && topo_.has_placement(from) &&
+      topo_.has_placement(to)) {
+    e.network_port = true;
+    const int src = topo_.instance_of(from);
+    const int dst = topo_.instance_of(to);
+    const auto eg_load = ports_.egress_load.find(src);
+    if (eg_load != ports_.egress_load.end()) e.eg_load = &eg_load->second;
+    const auto in_load = ports_.ingress_load.find(dst);
+    if (in_load != ports_.ingress_load.end()) e.in_load = &in_load->second;
+    const auto eg_beta = ports_.egress_beta.find(src);
+    if (eg_beta != ports_.egress_beta.end()) {
+      e.eg_beta = eg_beta->second;
+      e.has_eg = e.eg_load != nullptr;
+    }
+    const auto in_beta = ports_.ingress_beta.find(dst);
+    if (in_beta != ports_.ingress_beta.end()) {
+      e.in_beta = in_beta->second;
+      e.has_in = e.in_load != nullptr;
+    }
+  }
+  return e;
+}
+
+/// Effective beta of an edge under shared bandwidth (Eq. 3): the worst of
+/// the single-stream rate, the loaded edge rate, the shared egress port and
+/// the shared ingress port. One flow can never exceed a single stream's rate
+/// (edge.beta); several flows share the port capacity (effective_port_beta).
+/// On RDMA the two coincide; on TCP parallel streams beat one capped stream
+/// (Sec. VI-D).
+double CostEvaluator::beta_eff(const EdgeInfo& edge) const {
+  if (!edge.valid) profiled_edge(topo_, edge.from, edge.to);  // throws
+  const double edge_load = edge.load != nullptr ? std::max(1.0, *edge.load) : 1.0;
+  double beta = std::max(edge.beta, edge.port_beta * edge_load);
+  if (edge.network_port) {
+    if (edge.has_eg) beta = std::max(beta, edge.eg_beta * *edge.eg_load);
+    if (edge.has_in) beta = std::max(beta, edge.in_beta * *edge.in_load);
+  }
+  return beta;
+}
+
+/// Eq. 2 bottom-up over the flattened tree: one reverse sweep computes the
+/// root chunk-ready time (first-chunk times alpha + beta~ C fill the
+/// pipeline) and the bottleneck period (beta~ C serialization with a floor
+/// of one kernel-launch overhead per chunk, latency hidden by pipelining).
+CostEvaluator::PassResult CostEvaluator::reduce_pass(SubState& st, Bytes chunk) const {
+  std::fill(st.h.begin(), st.h.end(), 0.0);
+  PassResult result;
+  const double chunk_d = static_cast<double>(chunk);
+  for (int i = static_cast<int>(st.order.size()) - 1; i >= 1; --i) {
+    if (!st.visited[i]) continue;
+    const EdgeInfo& e = st.up[i];
+    const double serialized = beta_eff(e) * chunk_d;
+    result.bottleneck = std::max(result.bottleneck, std::max(serialized, kernel_overhead_));
+    st.h[st.parent[i]] = std::max(st.h[st.parent[i]], st.h[i] + (e.alpha + serialized));
+  }
+  result.h = st.h[0];
+  return result;
+}
+
+/// Broadcast: per-flow path times from root toward each leaf (no waiting),
+/// accumulated top-down in one forward sweep; `h` is the worst arrival.
+CostEvaluator::PassResult CostEvaluator::broadcast_pass(SubState& st, Bytes chunk) const {
+  std::fill(st.h.begin(), st.h.end(), 0.0);
+  PassResult result;
+  const double chunk_d = static_cast<double>(chunk);
+  const int n = static_cast<int>(st.order.size());
+  for (int i = 1; i < n; ++i) {
+    const EdgeInfo& e = st.down[i];
+    const double serialized = beta_eff(e) * chunk_d;
+    result.bottleneck = std::max(result.bottleneck, std::max(serialized, kernel_overhead_));
+    st.h[i] = st.h[st.parent[i]] + (e.alpha + serialized);
+    result.h = std::max(result.h, st.h[i]);
+  }
+  return result;
+}
+
+Seconds CostEvaluator::completion_time() {
   Seconds worst = 0.0;
-  for (const auto& sub : strategy.subs) {
+  for (std::size_t s = 0; s < strategy_.subs.size(); ++s) {
+    const auto& sub = strategy_.subs[s];
+    SubState& st = subs_[s];
     const Bytes sub_bytes =
-        static_cast<Bytes>(std::llround(sub.fraction * static_cast<double>(tensor_bytes)));
+        static_cast<Bytes>(std::llround(sub.fraction * static_cast<double>(tensor_bytes_)));
     if (sub_bytes == 0) continue;
     const Bytes chunk = std::min<Bytes>(sub.chunk_bytes, sub_bytes);
     const double chunks = std::ceil(static_cast<double>(sub_bytes) / static_cast<double>(chunk));
 
     Seconds total = 0.0;
-    switch (strategy.primitive) {
+    switch (strategy_.primitive) {
       case Primitive::kReduce:
       case Primitive::kReduceScatter: {
-        const auto timing = reduce_timing(sub, strategy.primitive, ctx, chunk, active);
-        total = timing.h_root + chunks * timing.max_bottleneck;  // Eq. 5
+        const PassResult timing = reduce_pass(st, chunk);
+        total = timing.h + chunks * timing.bottleneck;  // Eq. 5
         break;
       }
       case Primitive::kBroadcast:
       case Primitive::kAllGather: {
-        const auto timing = broadcast_timing(sub, ctx, chunk);
-        total = timing.h_root + chunks * timing.max_bottleneck;
+        const PassResult timing = broadcast_pass(st, chunk);
+        total = timing.h + chunks * timing.bottleneck;
         break;
       }
       case Primitive::kAllReduce: {
         // Reduce drives the pipeline; the last reduced chunk then rides the
         // broadcast path once (stages are pipelined, Sec. V-B).
-        const auto reduce = reduce_timing(sub, strategy.primitive, ctx, chunk, active);
-        const auto bcast = broadcast_timing(sub, ctx, chunk);
-        const Seconds reduce_total = reduce.h_root + chunks * reduce.max_bottleneck;
-        total = reduce_total + bcast.h_root;
+        const PassResult reduce = reduce_pass(st, chunk);
+        const PassResult bcast = broadcast_pass(st, chunk);
+        const Seconds reduce_total = reduce.h + chunks * reduce.bottleneck;
+        total = reduce_total + bcast.h;
         break;
       }
       case Primitive::kAllToAll: {
-        const int participants = static_cast<int>(strategy.participants.size());
+        const int participants = static_cast<int>(strategy_.participants.size());
         const Bytes flow_bytes =
             participants > 0
-                ? static_cast<Bytes>(std::llround(sub.fraction * static_cast<double>(tensor_bytes) /
-                                                  participants))
+                ? static_cast<Bytes>(std::llround(
+                      sub.fraction * static_cast<double>(tensor_bytes_) / participants))
                 : 0;
         const Bytes flow_chunk = std::min<Bytes>(sub.chunk_bytes, std::max<Bytes>(flow_bytes, 1));
         const double flow_chunks =
             std::ceil(static_cast<double>(flow_bytes) / static_cast<double>(flow_chunk));
-        for (const auto& flow : sub.flows) {
+        const double chunk_d = static_cast<double>(flow_chunk);
+        for (const auto& path : st.flow_edges) {
           Seconds h = 0.0;
           Seconds bottleneck = 0.0;
-          for (std::size_t i = 0; i + 1 < flow.path.size(); ++i) {
-            h += edge_chunk_time(ctx, flow.path[i], flow.path[i + 1], flow_chunk);
-            bottleneck = std::max(bottleneck,
-                                  edge_period(ctx, flow.path[i], flow.path[i + 1], flow_chunk));
+          for (const EdgeInfo& e : path) {
+            const double serialized = beta_eff(e) * chunk_d;
+            h += e.alpha + serialized;
+            bottleneck = std::max(bottleneck, std::max(serialized, kernel_overhead_));
           }
           total = std::max(total, h + flow_chunks * bottleneck);
         }
@@ -293,6 +419,45 @@ Seconds estimate_completion_time(const Strategy& strategy, const LogicalTopology
     worst = std::max(worst, total);  // Eq. 4
   }
   return worst;
+}
+
+void CostEvaluator::on_aggregation_toggled(std::size_t sub_index, NodeId node) {
+  switch (strategy_.primitive) {
+    case Primitive::kReduce:
+    case Primitive::kReduceScatter:
+    case Primitive::kAllReduce:
+      break;
+    default:
+      return;  // broadcast edges carry one replica regardless of aggregation
+  }
+  SubState& st = subs_[sub_index];
+  const auto it = st.index.find(node);
+  if (it == st.index.end()) return;  // unreachable from the root: carries no load
+  const auto& sub = strategy_.subs[sub_index];
+  int i = it->second;
+  for (;;) {
+    const int in = st.inputs[i];
+    const int fresh =
+        in == 0 ? 0 : (sub.aggregates_at(st.order[i], strategy_.primitive) ? 1 : in);
+    const int delta = fresh - st.out[i];
+    if (delta == 0) return;  // absorbed (e.g. by an aggregating ancestor)
+    st.out[i] = fresh;
+    const int parent = st.parent[i];
+    if (parent < 0) return;  // the root's out feeds no edge
+    EdgeInfo& e = st.up[i];
+    if (e.load != nullptr) {
+      const double d = static_cast<double>(delta);
+      *e.load += d;
+      if (e.network_port) {
+        // Keep the shared-port sums consistent with the edge loads they
+        // aggregate (compute_port_state counts exactly these edges).
+        if (e.eg_load != nullptr) *e.eg_load += d;
+        if (e.in_load != nullptr) *e.in_load += d;
+      }
+    }
+    st.inputs[parent] += delta;
+    i = parent;
+  }
 }
 
 BytesPerSecond aggregate_bandwidth(const Strategy& strategy, const LogicalTopology& topo) {

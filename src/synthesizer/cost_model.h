@@ -16,8 +16,10 @@
 // hardware.
 #pragma once
 
+#include <cstdint>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "collective/comm_graph.h"
 #include "topology/logical_topology.h"
@@ -47,10 +49,124 @@ using LinkLoads = std::unordered_map<EdgeKey, double, EdgeKeyHash>;
 /// Computes the link loads of the whole strategy for `tensor_bytes` total.
 LinkLoads compute_link_loads(const Strategy& strategy, const std::set<int>& active_ranks);
 
+/// Aggregate traffic loads and capacities per NIC port: network-edge
+/// bandwidth is shared at the instance's egress and ingress, not per logical
+/// edge, so three composite GPU-GPU edges into one server contend for one
+/// ingress port. The port's own capacity matters too: a flow's rate is the
+/// bottleneck of (egress capacity / egress load, ingress capacity / ingress
+/// load).
+struct PortState {
+  std::unordered_map<int, double> egress_load;
+  std::unordered_map<int, double> ingress_load;
+  std::unordered_map<int, double> egress_beta;   // 1 / port capacity
+  std::unordered_map<int, double> ingress_beta;
+};
+
+/// Port loads and capacities derived from `loads` and the profiled NIC mesh.
+PortState compute_port_state(const LogicalTopology& topo, const LinkLoads& loads);
+
 /// Estimated completion time of the collective (Eq. 4). Throws
 /// std::invalid_argument if the strategy references unprofiled edges.
 Seconds estimate_completion_time(const Strategy& strategy, const LogicalTopology& topo,
                                  Bytes tensor_bytes, const std::set<int>& active_ranks);
+
+/// Memoized, incremental evaluator of the Eq. 4 objective for one strategy.
+///
+/// The synthesizer scores the same strategy object many times per solve —
+/// across the chunk-size sweep (loads are chunk-independent) and the
+/// aggregation local search (a toggle changes the loads of only the toggled
+/// node's ancestor chain). This class binds to a Strategy and caches
+/// everything reusable between evaluations: per-sub breadth-first tree
+/// indexes, active-subtree counts, reduce message counts (computed
+/// iteratively over the index, not by recursion), the link-load map, the
+/// shared-port state, and per-edge profiled constants with direct pointers
+/// into the load map. completion_time() is then a flat array sweep over each
+/// tree. All arithmetic replicates estimate_completion_time() operation for
+/// operation, so the two produce bit-identical costs.
+class CostEvaluator {
+ public:
+  /// Binds to `strategy`, which must outlive the evaluator. Callers may
+  /// mutate sub.chunk_bytes freely between evaluations; every aggregate_at
+  /// flip must be reported through on_aggregation_toggled (including
+  /// reverts). `active_ranks` empty means all participants.
+  CostEvaluator(const Strategy& strategy, const LogicalTopology& topo, Bytes tensor_bytes,
+                const std::set<int>& active_ranks);
+
+  /// Eq. 4 objective at the strategy's current chunk sizes. Throws
+  /// std::invalid_argument when a visited edge is missing or unprofiled,
+  /// exactly like estimate_completion_time.
+  Seconds completion_time();
+
+  /// Folds one aggregation flip (sub `sub_index` at `node`) into the cached
+  /// loads: walks the ancestor chain, updating message counts and the edge
+  /// and port loads they feed, stopping as soon as the delta is absorbed
+  /// (at an aggregating ancestor) — O(depth) instead of a full recompute.
+  /// Loads are integer-valued doubles, so the incremental +/- is exact.
+  void on_aggregation_toggled(std::size_t sub_index, NodeId node);
+
+  const LinkLoads& link_loads() const noexcept { return loads_; }
+
+ private:
+  /// Profiled constants of one directed edge plus direct pointers into the
+  /// mutable load state. `valid` is false for missing/unprofiled edges; the
+  /// throw is deferred to first use so edges in inactive subtrees (which
+  /// timing never visits) do not fail eagerly.
+  struct EdgeInfo {
+    NodeId from{};
+    NodeId to{};
+    bool valid = false;
+    bool network_port = false;  ///< network edge with both ends placed
+    Seconds alpha = 0.0;
+    double beta = 0.0;
+    double port_beta = 0.0;  ///< edge.effective_port_beta()
+    double* load = nullptr;  ///< loads_ slot; null = unloaded (treated as 1)
+    double* eg_load = nullptr;  ///< shared egress-port load of from's instance
+    double* in_load = nullptr;  ///< shared ingress-port load of to's instance
+    double eg_beta = 0.0;
+    double in_beta = 0.0;
+    bool has_eg = false;
+    bool has_in = false;
+  };
+
+  /// Flattened tree of one sub-collective: breadth-first order (root at 0,
+  /// so a reverse sweep visits children before parents), with memoized
+  /// per-node state.
+  struct SubState {
+    std::vector<NodeId> order;
+    std::unordered_map<NodeId, int> index;
+    std::vector<int> parent;        ///< index into order, -1 for the root
+    std::vector<int> active_below;  ///< active GPUs in the subtree
+    std::vector<char> visited;      ///< reachable through active subtrees
+    std::vector<int> inputs;        ///< reduce messages arriving per chunk
+    std::vector<int> out;           ///< reduce messages sent to the parent
+    std::vector<EdgeInfo> up;       ///< node -> parent edge (reduce)
+    std::vector<EdgeInfo> down;     ///< parent -> node edge (broadcast)
+    std::vector<std::vector<EdgeInfo>> flow_edges;  ///< AllToAll paths
+    std::vector<double> h;          ///< per-eval chunk-ready-time scratch
+  };
+
+  struct PassResult {
+    Seconds h = 0.0;
+    Seconds bottleneck = 0.0;
+  };
+
+  void build_sub_state(const collective::SubCollective& sub, SubState& st) const;
+  void build_loads();
+  void resolve_edges();
+  EdgeInfo make_edge(NodeId from, NodeId to);
+  double beta_eff(const EdgeInfo& edge) const;
+  PassResult reduce_pass(SubState& st, Bytes chunk) const;
+  PassResult broadcast_pass(SubState& st, Bytes chunk) const;
+
+  const Strategy& strategy_;
+  const LogicalTopology& topo_;
+  Bytes tensor_bytes_;
+  std::set<int> active_;
+  LinkLoads loads_;
+  PortState ports_;
+  std::vector<SubState> subs_;
+  Seconds kernel_overhead_;
+};
 
 /// Aggregate bandwidth B of the communication graph (sum of profiled
 /// bottleneck bandwidths of the edges used), the quantity the ski-rental

@@ -283,21 +283,26 @@ collective::Strategy Synthesizer::synthesize(Primitive primitive,
 
   Seconds best_cost = std::numeric_limits<double>::infinity();
   for (const auto& assignment : assignments) {
+    // Trees and loads are fixed for the whole assignment and chunk size does
+    // not enter the link loads, so build the candidate and its CostEvaluator
+    // once and re-score the chunk sweep against the memoized state.
+    Strategy candidate;
+    candidate.primitive = primitive;
+    candidate.participants = participants;
+    candidate.origin = "adapcc";
+    const int subs = static_cast<int>(assignment.size()) == 1 ? 1 : config_.parallel_subs;
+    for (int m = 0; m < subs; ++m) {
+      SubCollective sub;
+      sub.id = m;
+      sub.fraction = 1.0 / subs;
+      sub.chunk_bytes = config_.chunk_candidates.front();
+      sub.tree = trees[assignment[static_cast<std::size_t>(m) % assignment.size()]];
+      candidate.subs.push_back(std::move(sub));
+    }
+    CostEvaluator evaluator(candidate, topo_, tensor_bytes, active);
     for (const Bytes chunk : config_.chunk_candidates) {
-      Strategy candidate;
-      candidate.primitive = primitive;
-      candidate.participants = participants;
-      candidate.origin = "adapcc";
-      const int subs = static_cast<int>(assignment.size()) == 1 ? 1 : config_.parallel_subs;
-      for (int m = 0; m < subs; ++m) {
-        SubCollective sub;
-        sub.id = m;
-        sub.fraction = 1.0 / subs;
-        sub.chunk_bytes = chunk;
-        sub.tree = trees[assignment[static_cast<std::size_t>(m) % assignment.size()]];
-        candidate.subs.push_back(std::move(sub));
-      }
-      const Seconds cost = estimate_completion_time(candidate, topo_, tensor_bytes, active);
+      for (auto& sub : candidate.subs) sub.chunk_bytes = chunk;
+      const Seconds cost = evaluator.completion_time();
       ++report_.candidates_evaluated;
       ADAPCC_LOG(kDebug, "synth") << "assignment size=" << assignment.size() << " first-root="
                                   << to_string(candidate.subs[0].tree.root) << " last-root="
@@ -305,29 +310,36 @@ collective::Strategy Synthesizer::synthesize(Primitive primitive,
                                   << chunk << " cost=" << cost;
       if (cost < best_cost) {
         best_cost = cost;
-        best = std::move(candidate);
+        best = candidate;  // copy: the evaluator stays bound to `candidate`
       }
     }
   }
 
   // --- Aggregation-control local search (a_{m,g} toggles). ------------------
   if (config_.optimize_aggregation && collective::requires_aggregation(primitive)) {
+    // One evaluator survives the whole search: each toggle patches only the
+    // toggled node's ancestor-chain loads instead of recomputing every
+    // sub-collective's message counts from scratch.
+    CostEvaluator evaluator(best, topo_, tensor_bytes, active);
     bool improved = true;
     while (improved) {
       improved = false;
-      for (auto& sub : best.subs) {
+      for (std::size_t si = 0; si < best.subs.size(); ++si) {
+        auto& sub = best.subs[si];
         for (const NodeId node : sub.tree.nodes()) {
           if (!node.is_gpu() || node == sub.tree.root) continue;
           if (sub.tree.children_of(node).empty()) continue;  // leaves don't aggregate anyway
           const bool current = sub.aggregates_at(node, primitive);
           sub.aggregate_at[node] = !current;
-          const Seconds cost = estimate_completion_time(best, topo_, tensor_bytes, active);
+          evaluator.on_aggregation_toggled(si, node);
+          const Seconds cost = evaluator.completion_time();
           ++report_.candidates_evaluated;
           if (cost + 1e-12 < best_cost) {
             best_cost = cost;
             improved = true;
           } else {
             sub.aggregate_at[node] = current;
+            evaluator.on_aggregation_toggled(si, node);
           }
         }
       }

@@ -40,6 +40,12 @@ struct SynthesisReport {
   Seconds model_cost = 0.0;        ///< Eq. 4 objective of the chosen strategy
   double solve_time_seconds = 0.0; ///< host wall-clock spent solving (Fig. 19c)
   int candidates_evaluated = 0;
+  /// Cumulative counters of the runtime's strategy cache (Adapcc): lookups
+  /// of the (primitive, participants, size-bucket, epoch) key that were
+  /// served without solving vs. that ran the synthesizer. The synthesizer
+  /// itself always reports zero for both.
+  int cache_hits = 0;
+  int cache_misses = 0;
 };
 
 class Synthesizer {

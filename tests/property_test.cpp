@@ -10,16 +10,26 @@
 //   * the ski-rental 2-competitive bound over a parameter grid.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <tuple>
+#include <utility>
 
 #include "collective/behavior.h"
 #include "collective/builders.h"
 #include "collective/executor.h"
 #include "profiler/profiler.h"
 #include "relay/ski_rental.h"
+#include "runtime/adapcc.h"
 #include "sim/edge_channel.h"
+#include "sim/flow_link.h"
 #include "synthesizer/synthesizer.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
 #include "topology/detector.h"
 #include "topology/testbeds.h"
 #include "util/rng.h"
@@ -386,6 +396,181 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, SkiRentalBound,
     ::testing::Combine(::testing::Values(0.002, 0.01, 0.05, 0.2, 0.5, 2.0),
                        ::testing::Values(0.005, 0.02, 0.1, 0.4)));
+
+// ---------------------------------------------------------------------------
+// FlowLink processor sharing vs. a brute-force fluid reference.
+// ---------------------------------------------------------------------------
+
+struct FluidTransfer {
+  double start;
+  double bytes;
+};
+
+struct FluidResult {
+  std::vector<double> finish;  ///< service-completion time per transfer
+  double busy = 0.0;           ///< total time with at least one active transfer
+};
+
+/// Brute-force processor-sharing reference: steps from event to event
+/// (arrival, capacity change, earliest completion) and integrates every
+/// active transfer's remaining bytes individually — the O(n^2) formulation
+/// FlowLink's virtual-work accounting replaces.
+void fluid_reference(const std::vector<FluidTransfer>& transfers,
+                     std::vector<std::pair<double, double>> capacity_changes, double capacity,
+                     double per_transfer_cap, FluidResult* out) {
+  FluidResult& result = *out;
+  result.finish.assign(transfers.size(), -1.0);
+  std::vector<std::size_t> arrival_order(transfers.size());
+  for (std::size_t i = 0; i < transfers.size(); ++i) arrival_order[i] = i;
+  std::sort(arrival_order.begin(), arrival_order.end(),
+            [&](std::size_t a, std::size_t b) { return transfers[a].start < transfers[b].start; });
+  std::sort(capacity_changes.begin(), capacity_changes.end());
+
+  std::vector<double> remaining(transfers.size(), 0.0);
+  std::vector<std::size_t> active;
+  std::size_t next_arrival = 0;
+  std::size_t next_change = 0;
+  double now = 0.0;
+  const double inf = std::numeric_limits<double>::infinity();
+  while (next_arrival < arrival_order.size() || !active.empty()) {
+    double rate = 0.0;
+    if (!active.empty()) {
+      rate = capacity / static_cast<double>(active.size());
+      if (per_transfer_cap > 0.0) rate = std::min(rate, per_transfer_cap);
+    }
+    const double t_arrival =
+        next_arrival < arrival_order.size() ? transfers[arrival_order[next_arrival]].start : inf;
+    const double t_change =
+        next_change < capacity_changes.size() ? capacity_changes[next_change].first : inf;
+    double t_finish = inf;
+    if (!active.empty() && rate > 0.0) {
+      double min_remaining = inf;
+      for (const std::size_t i : active) min_remaining = std::min(min_remaining, remaining[i]);
+      t_finish = now + min_remaining / rate;
+    }
+    const double t_next = std::min({t_arrival, t_change, t_finish});
+    ASSERT_TRUE(t_next < inf) << "fluid reference stalled";  // needs rate > 0 eventually
+    if (!active.empty()) {
+      for (const std::size_t i : active) remaining[i] -= rate * (t_next - now);
+      result.busy += t_next - now;
+    }
+    now = t_next;
+    if (t_next == t_finish) {
+      std::vector<std::size_t> still_active;
+      for (const std::size_t i : active) {
+        if (remaining[i] <= 1e-6) {
+          result.finish[i] = now;
+        } else {
+          still_active.push_back(i);
+        }
+      }
+      active = std::move(still_active);
+    }
+    while (next_arrival < arrival_order.size() &&
+           transfers[arrival_order[next_arrival]].start <= now) {
+      const std::size_t i = arrival_order[next_arrival++];
+      remaining[i] = transfers[i].bytes;
+      active.push_back(i);
+    }
+    while (next_change < capacity_changes.size() && capacity_changes[next_change].first <= now) {
+      capacity = capacity_changes[next_change++].second;
+    }
+  }
+}
+
+class FlowLinkSharingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowLinkSharingProperty, MatchesBruteForceFluidReference) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = static_cast<int>(rng.uniform_int(2, 20));
+  const double capacity = rng.uniform(1e6, 1e9);
+  const double per_transfer_cap = rng.bernoulli(0.5) ? rng.uniform(capacity / 8, capacity) : 0.0;
+  std::vector<FluidTransfer> transfers;
+  for (int i = 0; i < n; ++i) {
+    transfers.push_back({rng.uniform(0.0, 0.5), std::floor(rng.uniform(1e3, 1e7))});
+  }
+  std::vector<std::pair<double, double>> capacity_changes;
+  const int changes = static_cast<int>(rng.uniform_int(0, 3));
+  for (int c = 0; c < changes; ++c) {
+    capacity_changes.emplace_back(rng.uniform(0.0, 1.0), rng.uniform(1e6, 1e9));
+  }
+
+  sim::Simulator sim;
+  sim::FlowLink link(sim, "prop", /*alpha=*/1e-5, capacity, per_transfer_cap);
+  std::vector<double> served(transfers.size(), -1.0);
+  Bytes total_bytes = 0;
+  for (std::size_t i = 0; i < transfers.size(); ++i) {
+    const Bytes bytes = static_cast<Bytes>(transfers[i].bytes);
+    total_bytes += bytes;
+    sim.schedule_at(transfers[i].start, [&link, &sim, &served, i, bytes] {
+      link.start_transfer(bytes, nullptr, [&sim, &served, i] { served[i] = sim.now(); });
+    });
+  }
+  for (const auto& [when, cap] : capacity_changes) {
+    sim.schedule_at(when, [&link, cap = cap] { link.set_capacity(cap); });
+  }
+  sim.run();
+
+  FluidResult reference;
+  fluid_reference(transfers, capacity_changes, capacity, per_transfer_cap, &reference);
+  for (std::size_t i = 0; i < transfers.size(); ++i) {
+    ASSERT_GE(reference.finish[i], 0.0) << "reference never finished transfer " << i;
+    ASSERT_GE(served[i], 0.0) << "link never served transfer " << i;
+    EXPECT_NEAR(served[i], reference.finish[i], 1e-6 * std::max(1.0, reference.finish[i]))
+        << "transfer " << i << " of " << n;
+  }
+  EXPECT_EQ(link.bytes_delivered(), total_bytes);
+  EXPECT_NEAR(link.busy_time(), reference.busy, 1e-6 * std::max(1.0, reference.busy));
+  EXPECT_EQ(link.active_transfers(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowLinkSharingProperty, ::testing::Range(1, 25));
+
+// ---------------------------------------------------------------------------
+// Determinism: identical seeds must replay identically, down to the
+// telemetry trace.
+// ---------------------------------------------------------------------------
+
+struct DeterminismRun {
+  std::uint64_t events_processed = 0;
+  Seconds finished_at = 0.0;
+  std::string trace;
+};
+
+DeterminismRun run_training_once(std::uint64_t seed) {
+  DeterminismRun run;
+  telemetry::enable();
+  {
+    sim::Simulator sim;
+    topology::Cluster cluster(sim, topology::heter_testbed());
+    runtime::AdapccConfig config;
+    config.seed = seed;
+    runtime::Adapcc adapcc(cluster, config);
+    adapcc.init();
+    adapcc.setup();
+    for (int iter = 0; iter < 3; ++iter) {
+      adapcc.allreduce(megabytes(16));
+      adapcc.alltoall(megabytes(4));
+    }
+    run.events_processed = sim.events_processed();
+    run.finished_at = sim.now();
+    std::ostringstream trace;
+    telemetry::write_chrome_trace(telemetry::get()->trace(), trace);
+    run.trace = trace.str();
+  }
+  telemetry::disable();
+  return run;
+}
+
+TEST(DeterminismProperty, SameSeedReplaysIdentically) {
+  const DeterminismRun first = run_training_once(17);
+  const DeterminismRun second = run_training_once(17);
+  EXPECT_EQ(first.events_processed, second.events_processed);
+  EXPECT_EQ(first.finished_at, second.finished_at);  // bit-for-bit, not nearly
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_GT(first.events_processed, 0u);
+  EXPECT_FALSE(first.trace.empty());
+}
 
 }  // namespace
 }  // namespace adapcc

@@ -204,5 +204,68 @@ TEST_F(RuntimeTest, BackendWrapperMatchesDirectUse) {
   EXPECT_EQ(backend.name(), "adapcc");
 }
 
+TEST_F(RuntimeTest, StrategyCacheServesRepeatSynthesis) {
+  build(topology::homo_testbed());
+  Adapcc adapcc(*cluster_);
+  adapcc.init();
+  const auto first =
+      adapcc.synthesize(Primitive::kAllReduce, adapcc.participants(), megabytes(256));
+  EXPECT_EQ(adapcc.last_synthesis().cache_misses, 1);
+  EXPECT_EQ(adapcc.last_synthesis().cache_hits, 0);
+  const double solved_cost = adapcc.last_synthesis().model_cost;
+  const int solved_candidates = adapcc.last_synthesis().candidates_evaluated;
+
+  // Same key: served from cache — same graph, same reported solve, no time
+  // spent solving.
+  const auto second =
+      adapcc.synthesize(Primitive::kAllReduce, adapcc.participants(), megabytes(256));
+  EXPECT_EQ(adapcc.last_synthesis().cache_hits, 1);
+  EXPECT_EQ(adapcc.last_synthesis().cache_misses, 1);
+  EXPECT_EQ(second.fingerprint(), first.fingerprint());
+  EXPECT_EQ(adapcc.last_synthesis().model_cost, solved_cost);
+  EXPECT_EQ(adapcc.last_synthesis().candidates_evaluated, solved_candidates);
+  EXPECT_EQ(adapcc.last_synthesis().solve_time_seconds, 0.0);
+
+  // 200 MB shares the 256 MB power-of-two bucket ([2^27, 2^28) bytes).
+  adapcc.synthesize(Primitive::kAllReduce, adapcc.participants(), megabytes(200));
+  EXPECT_EQ(adapcc.last_synthesis().cache_hits, 2);
+
+  // A different primitive or size bucket is a miss.
+  adapcc.synthesize(Primitive::kReduce, adapcc.participants(), megabytes(256));
+  EXPECT_EQ(adapcc.last_synthesis().cache_misses, 2);
+  adapcc.synthesize(Primitive::kAllReduce, adapcc.participants(), megabytes(64));
+  EXPECT_EQ(adapcc.last_synthesis().cache_misses, 3);
+  EXPECT_EQ(adapcc.last_synthesis().cache_hits, 2);
+}
+
+TEST_F(RuntimeTest, StrategyCacheInvalidatedOnReprofileAndMembership) {
+  build(topology::homo_testbed());
+  Adapcc adapcc(*cluster_);
+  adapcc.init();
+  adapcc.synthesize(Primitive::kAllReduce, adapcc.participants(), megabytes(64));
+  adapcc.synthesize(Primitive::kAllReduce, adapcc.participants(), megabytes(64));
+  EXPECT_EQ(adapcc.last_synthesis().cache_hits, 1);
+
+  // Reprofiling re-measures the topology: the epoch advances and the next
+  // lookup must re-solve even though the key fields are unchanged.
+  adapcc.reprofile(megabytes(64));
+  const int misses_after_reprofile = adapcc.last_synthesis().cache_misses;
+  EXPECT_GE(misses_after_reprofile, 2);
+  adapcc.synthesize(Primitive::kAllReduce, adapcc.participants(), megabytes(64));
+  // reprofile() itself cached its fresh solve under the new epoch.
+  EXPECT_EQ(adapcc.last_synthesis().cache_hits, 2);
+  EXPECT_EQ(adapcc.last_synthesis().cache_misses, misses_after_reprofile);
+
+  // Excluding and re-admitting workers invalidates as well: the re-grown
+  // participant set must not be served a pre-exclusion graph.
+  adapcc.exclude_workers({0});
+  adapcc.synthesize(Primitive::kAllReduce, adapcc.participants(), megabytes(64));
+  EXPECT_EQ(adapcc.last_synthesis().cache_misses, misses_after_reprofile + 1);
+  adapcc.include_workers({0});
+  adapcc.synthesize(Primitive::kAllReduce, adapcc.participants(), megabytes(64));
+  EXPECT_EQ(adapcc.last_synthesis().cache_misses, misses_after_reprofile + 2);
+  EXPECT_EQ(adapcc.last_synthesis().cache_hits, 2);
+}
+
 }  // namespace
 }  // namespace adapcc

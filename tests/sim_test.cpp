@@ -90,6 +90,46 @@ TEST(SimulatorTest, RejectsPastScheduling) {
   EXPECT_THROW(sim.schedule_after(-1.0, [] {}), std::invalid_argument);
 }
 
+TEST(SimulatorTest, ScheduleCancelCyclesStayBounded) {
+  // Regression for the tombstone design: 100k schedule/cancel cycles with at
+  // most 8 events pending at a time must neither leave dead heap entries
+  // behind nor grow the slot slab past the peak concurrency.
+  Simulator sim;
+  std::vector<sim::EventId> ids;
+  for (int cycle = 0; cycle < 100000; ++cycle) {
+    ids.push_back(sim.schedule_after(1.0 + cycle * 1e-6, [] {}));
+    if (ids.size() == 8) {
+      for (const sim::EventId id : ids) sim.cancel(id);
+      ids.clear();
+    }
+  }
+  for (const sim::EventId id : ids) sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.heap_size(), 0u);   // cancel removes entries in place
+  EXPECT_LE(sim.slot_capacity(), 64u);  // one slot block, not 100k slots
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(SimulatorTest, RescheduleChurnLeavesNoResidue) {
+  // reschedule() must move the one entry in place: heap size stays at the
+  // pending count and the callback still fires exactly once, at the final
+  // time, however many times it was moved.
+  Simulator sim;
+  int fired = 0;
+  const sim::EventId id = sim.schedule_at(1.0, [&] { ++fired; });
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_TRUE(sim.reschedule(id, 1.0 + (i % 7) * 0.25));
+    ASSERT_EQ(sim.pending_events(), 1u);
+    ASSERT_EQ(sim.heap_size(), 1u);
+  }
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0 + ((100000 - 1) % 7) * 0.25);
+  EXPECT_FALSE(sim.reschedule(id, 99.0));  // already fired
+  EXPECT_LE(sim.slot_capacity(), 64u);
+}
+
 // --- FlowLink -------------------------------------------------------------
 
 TEST(FlowLinkTest, SoloTransferTakesAlphaPlusServiceTime) {

@@ -231,5 +231,83 @@ TEST_F(SynthesizerTest, SubsetParticipantsSupported) {
   }
 }
 
+// --- incremental cost evaluator ----------------------------------------------
+
+TEST_F(SynthesizerTest, CostEvaluatorMatchesOneShotEstimate) {
+  build(topology::heter_testbed());
+  Synthesizer synth(*cluster_, topo_);
+  const auto ranks = all_ranks();
+  for (const auto primitive : {Primitive::kAllReduce, Primitive::kReduce, Primitive::kBroadcast,
+                               Primitive::kAllGather, Primitive::kAllToAll}) {
+    const auto strategy = synth.synthesize(primitive, ranks, megabytes(256));
+    synthesizer::CostEvaluator evaluator(strategy, topo_, megabytes(256), {});
+    EXPECT_EQ(evaluator.completion_time(),
+              estimate_completion_time(strategy, topo_, megabytes(256), {}))
+        << static_cast<int>(primitive);
+  }
+}
+
+TEST_F(SynthesizerTest, CostEvaluatorTracksChunkMutations) {
+  build(topology::heter_testbed());
+  Synthesizer synth(*cluster_, topo_);
+  auto strategy = synth.synthesize(Primitive::kAllReduce, all_ranks(), megabytes(256));
+  synthesizer::CostEvaluator evaluator(strategy, topo_, megabytes(256), {});
+  for (const Bytes chunk : {512_KiB, 1_MiB, 4_MiB, 16_MiB, 64_MiB}) {
+    for (auto& sub : strategy.subs) sub.chunk_bytes = chunk;
+    ASSERT_EQ(evaluator.completion_time(),
+              estimate_completion_time(strategy, topo_, megabytes(256), {}))
+        << chunk;
+  }
+}
+
+TEST_F(SynthesizerTest, CostEvaluatorIncrementalTogglesMatchFreshRebuild) {
+  build(topology::heter_testbed());
+  Synthesizer synth(*cluster_, topo_);
+  auto strategy = synth.synthesize(Primitive::kAllReduce, all_ranks(), megabytes(256));
+  synthesizer::CostEvaluator evaluator(strategy, topo_, megabytes(256), {});
+
+  // Collect the togglable nodes (interior non-root GPUs — the same set the
+  // synthesizer's aggregation search walks) and flip a random sequence of
+  // them, checking after every flip that the incrementally maintained state
+  // still reproduces a from-scratch evaluation bit for bit.
+  std::vector<std::pair<std::size_t, NodeId>> togglable;
+  for (std::size_t si = 0; si < strategy.subs.size(); ++si) {
+    const auto& sub = strategy.subs[si];
+    for (const NodeId node : sub.tree.nodes()) {
+      if (!node.is_gpu() || node == sub.tree.root) continue;
+      if (sub.tree.children_of(node).empty()) continue;
+      togglable.emplace_back(si, node);
+    }
+  }
+  ASSERT_FALSE(togglable.empty());
+
+  util::Rng rng(2024);
+  for (int step = 0; step < 50; ++step) {
+    const auto& [si, node] = togglable[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(togglable.size()) - 1))];
+    auto& sub = strategy.subs[si];
+    sub.aggregate_at[node] = !sub.aggregates_at(node, strategy.primitive);
+    evaluator.on_aggregation_toggled(si, node);
+    ASSERT_EQ(evaluator.completion_time(),
+              estimate_completion_time(strategy, topo_, megabytes(256), {}))
+        << "step " << step;
+  }
+}
+
+TEST_F(SynthesizerTest, CostEvaluatorHonorsActiveSubset) {
+  build(topology::heter_testbed());
+  Synthesizer synth(*cluster_, topo_);
+  auto strategy = synth.synthesize(Primitive::kReduce, all_ranks(), megabytes(64));
+  // Deactivate a couple of ranks: subtrees rooted at inactive nodes carry no
+  // load and their (possibly unprofiled) edges must never be touched.
+  std::set<int> active;
+  for (const int rank : all_ranks())
+    if (rank != 3 && rank != 7) active.insert(rank);
+  synthesizer::CostEvaluator evaluator(strategy, topo_, megabytes(64), active);
+  EXPECT_EQ(evaluator.completion_time(),
+            estimate_completion_time(strategy, topo_, megabytes(64), active));
+  EXPECT_EQ(evaluator.link_loads(), compute_link_loads(strategy, active));
+}
+
 }  // namespace
 }  // namespace adapcc
