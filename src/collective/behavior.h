@@ -44,4 +44,15 @@ int active_in_subtree(const Tree& tree, NodeId node, const std::set<int>& active
 BehaviorTuple derive_behavior(const SubCollective& sub, Primitive primitive, NodeId node,
                               const std::set<int>& active_ranks);
 
+/// ADAPCC_AUDIT hook (no-op in regular builds): re-checks the structural
+/// invariants of `sub`'s tree (single root, acyclic parent chains) and holds
+/// every node's behavior tuple to the Sec. IV-C-3 consistency rules stated
+/// as implications — hasKernel requires something to aggregate, inactive
+/// leaves stay silent, only the root withholds its send — rather than by
+/// re-running the derivation, so a future edit to derive_behavior that
+/// violates the paper's rules trips the audit instead of agreeing with
+/// itself.
+void audit_behavior_tuples(const SubCollective& sub, Primitive primitive,
+                           const std::set<int>& active_ranks);
+
 }  // namespace adapcc::collective

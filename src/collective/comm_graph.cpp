@@ -10,15 +10,19 @@ namespace adapcc::collective {
 
 std::vector<NodeId> Tree::nodes() const {
   std::vector<NodeId> result{root};
-  for (const auto& [child, _] : parent) {
+  for (const auto& [child, _] : parent) {  // lint:ordered — sorted below
     if (child != root) result.push_back(child);
   }
+  // Root first, then ascending NodeId: callers iterate this to build
+  // channels and to order the aggregation local search, so hash-map order
+  // would leak into simulation-visible results (tie-broken toggle choices).
+  std::sort(result.begin() + 1, result.end());
   return result;
 }
 
 std::vector<NodeId> Tree::children_of(NodeId node) const {
   std::vector<NodeId> result;
-  for (const auto& [child, p] : parent) {
+  for (const auto& [child, p] : parent) {  // lint:ordered — sorted below
     if (p == node) result.push_back(child);
   }
   // Deterministic order regardless of hash-map iteration.
@@ -46,6 +50,7 @@ int Tree::depth_of(NodeId node) const {
 
 void Tree::validate(const LogicalTopology& topo) const {
   if (parent.contains(root)) throw std::invalid_argument("Tree: root has a parent");
+  // lint:ordered — pure validation: every edge is checked, order-insensitive.
   for (const auto& [child, p] : parent) {
     if (!topo.has_edge(child, p)) {
       throw std::invalid_argument("Tree: edge " + to_string(child) + "->" + to_string(p) +

@@ -5,9 +5,11 @@
 #include <limits>
 #include <stdexcept>
 
+#include "collective/behavior.h"
 #include "sim/edge_channel.h"
 #include "sim/gpu_stream.h"
 #include "telemetry/telemetry.h"
+#include "util/audit.h"
 #include "util/logging.h"
 
 namespace adapcc::collective {
@@ -173,6 +175,9 @@ class Executor::Invocation {
 
   void build_tree_sub(SubRun& run) {
     const Tree& tree = run.spec->tree;
+    if constexpr (audit::kEnabled) {
+      audit_behavior_tuples(*run.spec, strategy_.primitive, options_.active_ranks);
+    }
     // Node states with behavior tuples.
     for (const NodeId node : tree.nodes()) {
       NodeState state;
@@ -532,7 +537,7 @@ class Executor::Invocation {
   }
 
   void op_done() {
-    if (--pending_ops_ == 0 && finished_) {
+    if (--pending_ops_ == 0 && finished_ && completion_delivered_) {
       // All traffic (including relay-bound tail traffic) has drained.
       if (on_idle_) sim_.schedule_after(0, on_idle_);
     }
@@ -549,10 +554,21 @@ class Executor::Invocation {
     }
     if (on_complete_) {
       // Deliver via a fresh event so the callback never runs inside a
-      // channel/stream callback of this invocation.
-      sim_.schedule_after(0, [this] { on_complete_(result_); });
+      // channel/stream callback of this invocation. on_idle_ (which may
+      // destroy this Invocation) must not be scheduled until this event has
+      // delivered: both land at the same timestamp, and event order among
+      // ties is not part of any component's contract — under the
+      // tie-shuffle harness the idle event could otherwise run first and
+      // leave this event's `this` dangling.
+      sim_.schedule_after(0, [this] {
+        on_complete_(result_);
+        completion_delivered_ = true;
+        if (pending_ops_ == 0 && on_idle_) sim_.schedule_after(0, on_idle_);
+      });
+    } else {
+      completion_delivered_ = true;
+      if (pending_ops_ == 0 && on_idle_) sim_.schedule_after(0, on_idle_);
     }
-    if (pending_ops_ == 0 && on_idle_) sim_.schedule_after(0, on_idle_);
   }
 
   topology::Cluster& cluster_;
@@ -571,6 +587,9 @@ class Executor::Invocation {
   long outstanding_ = 0;
   long pending_ops_ = 0;
   bool finished_ = false;
+  /// The on_complete_ delivery event has run; only then may on_idle_ (which
+  /// destroys the invocation) be scheduled — see finish().
+  bool completion_delivered_ = false;
   telemetry::SpanId tel_span_ = 0;  ///< whole-collective span
 };
 

@@ -1,0 +1,66 @@
+#include "relay/control_inbox.h"
+
+namespace adapcc::relay {
+
+std::uint64_t ControlInbox::post(int rank, ControlMessage::Kind kind, Seconds time) {
+  std::uint64_t sequence = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return 0;
+    sequence = next_sequence_++;
+    pending_.push_back(ControlMessage{rank, kind, time, sequence});
+  }
+  cv_.notify_one();
+  return sequence;
+}
+
+std::vector<ControlMessage> ControlInbox::drain() {
+  std::vector<ControlMessage> taken;
+  std::lock_guard<std::mutex> lock(mutex_);
+  taken.swap(pending_);
+  return taken;
+}
+
+std::size_t ControlInbox::fold_reports(std::map<int, Seconds>& ready_at,
+                                       std::map<int, Seconds>& fill_start) {
+  const std::vector<ControlMessage> messages = drain();
+  for (const ControlMessage& message : messages) {
+    switch (message.kind) {
+      case ControlMessage::Kind::kReady:
+        ready_at[message.rank] = message.time;
+        break;
+      case ControlMessage::Kind::kFillStart:
+        fill_start[message.rank] = message.time;
+        break;
+      case ControlMessage::Kind::kFaultSuspect:
+        break;  // folded by the fault detector, not the ready maps
+    }
+  }
+  return messages.size();
+}
+
+bool ControlInbox::wait_for_messages() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !pending_.empty() || closed_; });
+  return !pending_.empty();
+}
+
+void ControlInbox::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool ControlInbox::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t ControlInbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+}  // namespace adapcc::relay

@@ -1,0 +1,71 @@
+// Coordinator control inbox (Sec. IV-C): the thread-safe mailbox where
+// workers' small control messages — tensor-ready reports, buffer-fill
+// notifications, fault suspicions — land on the rank-0 coordinator.
+//
+// In the real system each worker's RPC handler thread posts into this inbox
+// while the coordinator's decision loop drains it once per 5 ms cycle. The
+// simulation is single-threaded, so this inbox is the relay subsystem's one
+// genuinely concurrent surface: post() may be called from any thread;
+// drain()/latest_ready_times() belong to the coordinator thread. The TSan
+// CI job exercises it with real producer threads (tests/relay_test.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "util/units.h"
+
+namespace adapcc::relay {
+
+struct ControlMessage {
+  enum class Kind { kReady, kFillStart, kFaultSuspect };
+  int rank = -1;
+  Kind kind = Kind::kReady;
+  /// Simulated time the report refers to (ready time, fill start, ...).
+  Seconds time = 0.0;
+  /// Arrival order across all producers, assigned by the inbox (1-based).
+  std::uint64_t sequence = 0;
+};
+
+class ControlInbox {
+ public:
+  ControlInbox() = default;
+  ControlInbox(const ControlInbox&) = delete;
+  ControlInbox& operator=(const ControlInbox&) = delete;
+
+  /// Posts a message (any thread). Returns its arrival sequence, 0 when the
+  /// inbox is closed.
+  std::uint64_t post(int rank, ControlMessage::Kind kind, Seconds time);
+
+  /// Removes and returns all pending messages in arrival order (coordinator
+  /// thread only).
+  std::vector<ControlMessage> drain();
+
+  /// Drains, folding kReady / kFillStart reports into the per-rank maps the
+  /// Coordinator's decide() consumes. A newer report from the same rank
+  /// overwrites the older one (re-reports after a stall are the common
+  /// case). Returns the number of messages folded.
+  std::size_t fold_reports(std::map<int, Seconds>& ready_at,
+                           std::map<int, Seconds>& fill_start);
+
+  /// Blocks until a message is pending or the inbox is closed; true when
+  /// messages are available. Host wall time — the coordinator thread's idle
+  /// wait, outside the simulated clock.
+  bool wait_for_messages();
+
+  void close();
+  bool closed() const;
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<ControlMessage> pending_;
+  std::uint64_t next_sequence_ = 1;
+  bool closed_ = false;
+};
+
+}  // namespace adapcc::relay

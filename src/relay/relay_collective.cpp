@@ -240,7 +240,7 @@ RelayRunResult RelayCollectiveRunner::run_allreduce(const Strategy& strategy, By
         // Drain executor tail traffic before the executors go out of scope.
         for (;;) {
           bool busy = false;
-          for (const auto& executor : broadcasts) busy = busy || executor->busy();
+          for (const auto& phase2_exec : broadcasts) busy = busy || phase2_exec->busy();
           if (!busy || !sim.step()) break;
         }
         for (const Seconds f : finishes) result.phase2_finish = std::max(result.phase2_finish, f);

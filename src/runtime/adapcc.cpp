@@ -190,6 +190,14 @@ relay::RelayRunResult Adapcc::allreduce_adaptive(Bytes tensor_bytes,
   return relay_runner_->run_allreduce(strategy, tensor_bytes, ready_at, fill_start);
 }
 
+relay::RelayRunResult Adapcc::allreduce_adaptive(Bytes tensor_bytes,
+                                                 relay::ControlInbox& inbox) {
+  std::map<int, Seconds> ready_at;
+  std::map<int, Seconds> fill_start;
+  inbox.fold_reports(ready_at, fill_start);
+  return allreduce_adaptive(tensor_bytes, ready_at, fill_start);
+}
+
 ReconstructionReport Adapcc::reprofile(Bytes tensor_bytes) {
   if (!initialized_) throw std::logic_error("adapcc: reprofile before init()");
   ReconstructionReport report;

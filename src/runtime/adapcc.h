@@ -20,6 +20,7 @@
 
 #include "collective/executor.h"
 #include "profiler/profiler.h"
+#include "relay/control_inbox.h"
 #include "relay/relay_collective.h"
 #include "synthesizer/synthesizer.h"
 #include "telemetry/telemetry.h"
@@ -112,6 +113,12 @@ class Adapcc {
   relay::RelayRunResult allreduce_adaptive(Bytes tensor_bytes,
                                            const std::map<int, Seconds>& ready_at,
                                            const std::map<int, Seconds>& fill_start = {});
+
+  /// Same, but with the per-rank ready / fill-start reports delivered
+  /// through the coordinator's thread-safe control inbox (the path worker
+  /// RPC handler threads use): drains the inbox, folds the reports
+  /// (latest per rank wins), and runs the adaptive AllReduce.
+  relay::RelayRunResult allreduce_adaptive(Bytes tensor_bytes, relay::ControlInbox& inbox);
 
   /// Runtime re-profiling + strategy regeneration (adapcc.profile() period
   /// hits). Reconstructs the communication graph in place — no checkpoint,

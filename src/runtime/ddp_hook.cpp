@@ -43,8 +43,10 @@ BucketedRunResult DdpCommHook::run_iteration(Bytes tensor_bytes,
       const Seconds end = end_it == backward_end.end() ? begin : end_it->second;
       request.options.ready_at[rank] = begin + fraction * (end - begin);
     }
-    queue_.submit(std::move(request));
+    // Through the staging inbox, as the real autograd-thread hooks would go.
+    submission_.stage(std::move(request));
   }
+  submission_.drain_into(queue_);
 
   queue_.drain(sim);
   while (auto entry = queue_.try_fetch()) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "collective/executor.h"
+#include "runtime/submission_queue.h"
 #include "runtime/work_queue.h"
 #include "topology/cluster.h"
 
@@ -50,11 +51,17 @@ class DdpCommHook {
 
   const DdpHookConfig& config() const noexcept { return config_; }
 
+  /// The staging inbox bucket hooks post into. In the real library the
+  /// autograd threads call submission().stage() directly; run_iteration
+  /// drains it into the Work Queue in ticket order.
+  SubmissionQueue& submission() noexcept { return submission_; }
+
  private:
   topology::Cluster& cluster_;
   collective::Strategy strategy_;
   DdpHookConfig config_;
   collective::Executor executor_;
+  SubmissionQueue submission_;
   WorkQueue queue_;
 };
 

@@ -1,0 +1,56 @@
+#include "runtime/submission_queue.h"
+
+namespace adapcc::runtime {
+
+std::uint64_t SubmissionQueue::stage(CommRequest request) {
+  std::uint64_t ticket = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return 0;
+    ticket = next_ticket_++;
+    staged_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return ticket;
+}
+
+std::vector<CommRequest> SubmissionQueue::drain() {
+  std::deque<CommRequest> taken;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    taken.swap(staged_);
+  }
+  return {std::make_move_iterator(taken.begin()), std::make_move_iterator(taken.end())};
+}
+
+std::size_t SubmissionQueue::drain_into(WorkQueue& queue) {
+  std::vector<CommRequest> requests = drain();
+  for (CommRequest& request : requests) queue.submit(std::move(request));
+  return requests.size();
+}
+
+bool SubmissionQueue::wait_for_work() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !staged_.empty() || closed_; });
+  return !staged_.empty();
+}
+
+void SubmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool SubmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t SubmissionQueue::staged() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return staged_.size();
+}
+
+}  // namespace adapcc::runtime

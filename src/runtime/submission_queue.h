@@ -1,0 +1,62 @@
+// Thread-safe staging inbox between framework threads and the dispatch loop
+// (Sec. V-A: per-context polling threads).
+//
+// In the real library, DDP fires gradient-bucket hooks from autograd worker
+// threads while AdapCC's polling thread drains them into the Work Queue. The
+// simulation itself is single-threaded, so this queue is the one boundary
+// where genuinely concurrent callers meet the runtime: stage() may be called
+// from any thread at any time; drain()/drain_into() must only be called from
+// the thread driving the simulator. The TSan CI job exercises this surface
+// with real producer threads (tests/queue_test.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "runtime/work_queue.h"
+
+namespace adapcc::runtime {
+
+class SubmissionQueue {
+ public:
+  SubmissionQueue() = default;
+  SubmissionQueue(const SubmissionQueue&) = delete;
+  SubmissionQueue& operator=(const SubmissionQueue&) = delete;
+
+  /// Stages a request (any thread). Returns the 1-based staging ticket;
+  /// tickets fix the global submission order across producer threads.
+  /// Staging to a closed queue is ignored and returns 0.
+  std::uint64_t stage(CommRequest request);
+
+  /// Removes and returns all staged requests in ticket order (dispatch
+  /// thread only).
+  std::vector<CommRequest> drain();
+
+  /// Drains and submits everything to `queue` in ticket order; returns how
+  /// many requests were handed over (dispatch thread only).
+  std::size_t drain_into(WorkQueue& queue);
+
+  /// Blocks until at least one request is staged or the queue is closed.
+  /// Returns true when requests are available, false on closed-and-empty.
+  /// This is the polling thread's idle wait — host wall time, deliberately
+  /// outside the simulated clock (nothing simulated happens while blocked).
+  bool wait_for_work();
+
+  /// Wakes every waiter; subsequent stage() calls are ignored.
+  void close();
+
+  bool closed() const;
+  std::size_t staged() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<CommRequest> staged_;
+  std::uint64_t next_ticket_ = 1;
+  bool closed_ = false;
+};
+
+}  // namespace adapcc::runtime

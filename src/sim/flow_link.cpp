@@ -1,3 +1,5 @@
+// adapcc-lint: hot-path — std::function is banned in this file (DESIGN.md §7).
+
 #include "sim/flow_link.h"
 
 #include <algorithm>
@@ -6,6 +8,7 @@
 #include <utility>
 
 #include "telemetry/telemetry.h"
+#include "util/audit.h"
 
 namespace adapcc::sim {
 
@@ -73,6 +76,9 @@ std::uint32_t FlowLink::acquire_slot() {
 }
 
 void FlowLink::release_slot(std::uint32_t slot) noexcept {
+  if constexpr (audit::kEnabled) {
+    if (audit_limbo_ > 0) --audit_limbo_;
+  }
   TransferData& data = slab(slot);
   data.on_delivered = nullptr;
   data.on_served = nullptr;
@@ -94,6 +100,7 @@ void FlowLink::start_transfer(Bytes bytes, CompletionCallback on_delivered,
   data.total_bytes = bytes;
   data.on_delivered = std::move(on_delivered);
   data.on_served = std::move(on_served);
+  if constexpr (audit::kEnabled) data.audit_enqueue_service = service_;
   transfers_.push_back(
       TransferKey{service_ + static_cast<double>(bytes), next_transfer_sequence_++, slot});
   if (telemetry_ready()) {
@@ -113,6 +120,7 @@ void FlowLink::start_transfer(Bytes bytes, CompletionCallback on_delivered,
   if (!completion_event_.valid() || transfers_.front().slot == slot) {
     reschedule_completion();
   }
+  if constexpr (audit::kEnabled) audit_verify();
 }
 
 void FlowLink::set_capacity(BytesPerSecond capacity) {
@@ -120,6 +128,7 @@ void FlowLink::set_capacity(BytesPerSecond capacity) {
   advance_progress();
   capacity_ = capacity;
   reschedule_completion();
+  if constexpr (audit::kEnabled) audit_verify();
 }
 
 Seconds FlowLink::busy_time() const noexcept {
@@ -132,6 +141,7 @@ void FlowLink::advance_progress() {
   const Seconds now = sim_.now();
   const Seconds elapsed = now - last_update_;
   if (elapsed > 0 && !transfers_.empty()) {
+    if constexpr (audit::kEnabled) audit_advance_rate_ = current_rate();
     service_ += current_rate() * elapsed;
     busy_accum_ += elapsed;
   }
@@ -151,7 +161,15 @@ void FlowLink::reschedule_completion() {
     return;
   }
   const double min_remaining = transfers_.front().finish_target - service_;
-  const Seconds eta = std::max(std::max(0.0, min_remaining) / rate, kMinEta);
+  // An already-due front can arise when another link event lands inside a
+  // kMinEta-clamped completion window and advances the service counter past
+  // the target. Complete it with a zero-delay event rather than re-clamping:
+  // re-clamping would add a spurious nanosecond of in-flight time per poke
+  // (and lets the overshoot grow without bound under event churn). The
+  // kMinEta floor below only guards *positive* remainders whose exact ETA
+  // underflows, where firing early and re-arming would loop.
+  const Seconds eta =
+      min_remaining <= kResidualEpsilonBytes ? 0.0 : std::max(min_remaining / rate, kMinEta);
   // Move the pending event in place when one exists; fall back to a fresh
   // event otherwise. Both orderings are identical to cancel + schedule.
   if (!sim_.reschedule(completion_event_, sim_.now() + eta)) {
@@ -180,6 +198,10 @@ void FlowLink::on_completion_event() {
     // started together with equal sizes); take them all without heap pops.
     done.reserve(transfers_.size());
     for (const TransferKey& key : transfers_) {
+      if constexpr (audit::kEnabled) {
+        audit_on_complete(key);
+        ++audit_limbo_;
+      }
       bytes_delivered_ += slab(key.slot).total_bytes;
       done.emplace_back(key.sequence, key.slot);
     }
@@ -188,6 +210,10 @@ void FlowLink::on_completion_event() {
     while (!transfers_.empty() &&
            transfers_.front().finish_target - service_ <= kResidualEpsilonBytes) {
       std::pop_heap(transfers_.begin(), transfers_.end(), TargetLater{});
+      if constexpr (audit::kEnabled) {
+        audit_on_complete(transfers_.back());
+        ++audit_limbo_;
+      }
       bytes_delivered_ += slab(transfers_.back().slot).total_bytes;
       done.emplace_back(transfers_.back().sequence, transfers_.back().slot);
       transfers_.pop_back();
@@ -241,6 +267,79 @@ void FlowLink::on_completion_event() {
   } else if (first_delivery) {
     sim_.schedule_after(alpha_, std::move(first_delivery));
   }
+  if constexpr (audit::kEnabled) audit_verify();
+}
+
+void FlowLink::audit_on_complete(const TransferKey& key) {
+  // Byte conservation per transfer: the fixed finish target must still equal
+  // service-at-enqueue + size bit-for-bit (the target is computed once and
+  // never touched; drift here would mean slab or heap corruption), and the
+  // service counter must actually have reached it, up to the residual
+  // epsilon that defines "complete". The comparison re-runs the enqueue-time
+  // sum — stated additively, because (a + b) - a == b does not hold for
+  // doubles even though a + b == a + b does.
+  const TransferData& data = slab(key.slot);
+  ADAPCC_AUDIT_CHECK("flow_link",
+                     key.finish_target ==
+                         data.audit_enqueue_service + static_cast<double>(data.total_bytes),
+                     name_ << ": target " << key.finish_target << " != enqueue service "
+                           << data.audit_enqueue_service << " + size " << data.total_bytes);
+  ADAPCC_AUDIT_CHECK("flow_link", service_ >= key.finish_target - kResidualEpsilonBytes,
+                     name_ << ": completing at service " << service_ << " short of target "
+                           << key.finish_target);
+}
+
+void FlowLink::audit_verify() {
+  // Whole-link accounting: the in-flight set is a well-formed heap, no
+  // in-flight transfer is already past its target (completions would have
+  // collected it), every heap key points at a live slab slot carrying a
+  // positive size, and busy time never outruns simulated time.
+  ADAPCC_AUDIT_CHECK("flow_link",
+                     std::is_heap(transfers_.begin(), transfers_.end(), TargetLater{}),
+                     name_ << ": transfer heap order violated with "
+                           << transfers_.size() << " in flight");
+  // A transfer may sit past its target by up to one kMinEta clamp window of
+  // service (the completion event fires at most kMinEta after the true
+  // crossing; any intervening link event advances the counter across the
+  // target and immediately re-arms a zero-delay completion). Beyond the
+  // residual epsilon, that bound — accrued at the rate the last advance
+  // used — is the most a live transfer may be overdue, and only with a
+  // completion event armed (or the link stalled below kMinRate).
+  const double overshoot_slack = kResidualEpsilonBytes + audit_advance_rate_ * kMinEta;
+  for (const TransferKey& key : transfers_) {
+    ADAPCC_AUDIT_CHECK("flow_link", key.slot < slab_count_,
+                       name_ << ": heap slot " << key.slot << " of " << slab_count_);
+    const TransferData& data = slab(key.slot);
+    ADAPCC_AUDIT_CHECK("flow_link", data.total_bytes > 0,
+                       name_ << ": in-flight transfer with zero size in slot " << key.slot);
+    ADAPCC_AUDIT_CHECK("flow_link", key.finish_target - service_ > -overshoot_slack,
+                       name_ << ": transfer past its target (target " << key.finish_target
+                             << " service " << service_ << " slack " << overshoot_slack
+                             << ") left in flight");
+    if (key.finish_target - service_ <= -kResidualEpsilonBytes) {
+      ADAPCC_AUDIT_CHECK("flow_link", completion_event_.valid() || current_rate() < kMinRate,
+                         name_ << ": overdue transfer with no completion event armed");
+    }
+  }
+  ADAPCC_AUDIT_CHECK("flow_link", last_update_ <= sim_.now(),
+                     name_ << ": progress clock " << last_update_ << " ahead of now "
+                           << sim_.now());
+  ADAPCC_AUDIT_CHECK("flow_link", busy_time() <= sim_.now() + 1e-12,
+                     name_ << ": busy time " << busy_time() << " exceeds simulated time "
+                           << sim_.now());
+  // Slab free list: bounded walk, and free + in-flight slots cover the slab.
+  std::uint32_t free_len = 0;
+  for (std::uint32_t slot = free_head_; slot != 0xffffffffu; ++free_len) {
+    ADAPCC_AUDIT_CHECK("flow_link", free_len <= slab_count_, name_ << ": slab free-list cycle");
+    ADAPCC_AUDIT_CHECK("flow_link", slot < slab_count_,
+                       name_ << ": slab free-list index " << slot);
+    slot = slab(slot).next_free;
+  }
+  ADAPCC_AUDIT_CHECK("flow_link",
+                     free_len + transfers_.size() + audit_limbo_ == slab_count_,
+                     name_ << ": free " << free_len << " + in-flight " << transfers_.size()
+                           << " + completing " << audit_limbo_ << " != slab slots "
+                           << slab_count_);
 }
 
 }  // namespace adapcc::sim

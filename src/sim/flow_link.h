@@ -17,6 +17,8 @@
 // advances the link in O(1) (bump the counter) and a completion costs
 // O(log n), instead of the O(n) per-transfer countdown + O(n) rescan that
 // made draining n shared transfers O(n^2).
+//
+// adapcc-lint: hot-path — std::function is banned in this file (DESIGN.md §7).
 #pragma once
 
 #include <cstdint>
@@ -91,6 +93,9 @@ class FlowLink {
     CompletionCallback on_served;
     telemetry::SpanId span = 0;  ///< open "xfer" trace span, 0 when disabled
     std::uint32_t next_free = 0xffffffffu;
+    /// Service counter reading at enqueue; written only under ADAPCC_AUDIT so
+    /// the byte-conservation check can re-derive finish_target independently.
+    double audit_enqueue_service = 0.0;
   };
   struct TargetLater {  // min-heap on (finish_target, sequence)
     bool operator()(const TransferKey& a, const TransferKey& b) const noexcept {
@@ -127,6 +132,11 @@ class FlowLink {
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t slot) noexcept;
 
+  /// ADAPCC_AUDIT hooks (no-ops in regular builds): byte conservation for a
+  /// transfer about to complete, and whole-link accounting invariants.
+  void audit_on_complete(const TransferKey& key);
+  void audit_verify();
+
   Simulator& sim_;
   std::string name_;
   Seconds alpha_;
@@ -148,6 +158,16 @@ class FlowLink {
   EventId completion_event_{};
   Bytes bytes_delivered_ = 0;
   Seconds busy_accum_ = 0.0;
+  /// Slots popped off the heap but not yet released (completion in
+  /// progress); maintained only under ADAPCC_AUDIT so the slab-coverage
+  /// check stays exact even when a completion callback re-enters
+  /// start_transfer mid-batch.
+  std::uint32_t audit_limbo_ = 0;
+  /// Per-transfer rate used by the most recent service advance; bounds how
+  /// far past a finish target the counter may legitimately overshoot inside
+  /// a kMinEta-clamped completion window (maintained only under
+  /// ADAPCC_AUDIT, read by audit_verify).
+  double audit_advance_rate_ = 0.0;
 
   // Telemetry handles, resolved lazily per telemetry epoch (see
   // telemetry::epoch()); raw pointers stay valid for the epoch's lifetime.

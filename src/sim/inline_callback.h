@@ -9,6 +9,8 @@
 // live inside the event-heap slot itself, so dispatch touches no allocator.
 // Larger callables (rare: deep capture chains in tests) transparently fall
 // back to the heap.
+//
+// adapcc-lint: hot-path — std::function is banned in this file (DESIGN.md §7).
 #pragma once
 
 #include <cstddef>

@@ -1,7 +1,11 @@
+// adapcc-lint: hot-path — std::function is banned in this file (DESIGN.md §7).
+
 #include "sim/simulator.h"
 
 #include <stdexcept>
 #include <utility>
+
+#include "util/audit.h"
 
 namespace adapcc::sim {
 
@@ -11,7 +15,22 @@ namespace {
 std::uint64_t encode(std::uint32_t slot, std::uint32_t generation) {
   return (static_cast<std::uint64_t>(generation) << 32) | slot;
 }
+
+// splitmix64 finalizer: a bijection on 64-bit integers, so scrambled tie
+// keys stay unique (distinct sequences map to distinct keys) while the
+// relative order of same-timestamp events becomes seed-dependent.
+std::uint64_t scramble(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 }  // namespace
+
+std::uint64_t Simulator::next_tie_key() noexcept {
+  const std::uint64_t sequence = next_sequence_++;
+  return tie_seed_ == 0 ? sequence : scramble(sequence ^ tie_seed_);
+}
 
 std::uint32_t Simulator::acquire_slot() {
   if (free_head_ != kNone) {
@@ -111,7 +130,7 @@ EventId Simulator::schedule_at(Seconds when, EventCallback callback) {
   Slot& s = slot(index);
   s.callback = std::move(callback);
   pad_heap();
-  sift_up(heap_size_++, HeapEntry{when, next_sequence_++, index});
+  sift_up(heap_size_++, HeapEntry{when, next_tie_key(), index});
   return EventId{encode(index, s.generation)};
 }
 
@@ -129,6 +148,7 @@ void Simulator::cancel(EventId id) noexcept {
   if (s.generation != generation || slot_pos_[index] == kNone) return;  // fired or recycled
   heap_remove(slot_pos_[index]);
   release_slot(index);
+  if constexpr (audit::kEnabled) audit_verify();
 }
 
 bool Simulator::reschedule(EventId id, Seconds when) {
@@ -142,10 +162,59 @@ bool Simulator::reschedule(EventId id, Seconds when) {
   const std::uint32_t pos = slot_pos_[index];
   // Fresh sequence: ties at the new time fire after events already there,
   // exactly as cancel + schedule_at would order them.
-  const HeapEntry entry{when, next_sequence_++, index};
+  const HeapEntry entry{when, next_tie_key(), index};
   sift_up(pos, entry);
   sift_down(slot_pos_[index], entry);
+  if constexpr (audit::kEnabled) audit_verify();
   return true;
+}
+
+void Simulator::audit_verify() const {
+  // Heap shape: every live entry orders after its parent, carries a valid
+  // slot whose position link points back at it, and the padding past the
+  // live prefix is all +inf sentinels (min_child reads it unconditionally).
+  for (std::uint32_t pos = 0; pos < heap_size_; ++pos) {
+    const HeapEntry& entry = heap_[pos];
+    ADAPCC_AUDIT_CHECK("simulator", entry.slot < slot_count_,
+                       "heap pos " << pos << " slot " << entry.slot << " of " << slot_count_);
+    ADAPCC_AUDIT_CHECK("simulator", slot_pos_[entry.slot] == pos,
+                       "slot " << entry.slot << " position link " << slot_pos_[entry.slot]
+                               << " != heap pos " << pos);
+    if (pos > 0) {
+      const HeapEntry& parent = heap_[(pos - 1) / 4];
+      ADAPCC_AUDIT_CHECK("simulator", !earlier(entry, parent),
+                         "heap order violated at pos " << pos << " (when=" << entry.when
+                                                       << " parent when=" << parent.when << ")");
+    }
+    ADAPCC_AUDIT_CHECK("simulator", entry.when >= now_,
+                       "pending event in the past: when=" << entry.when << " now=" << now_);
+  }
+  for (std::size_t pos = heap_size_; pos < heap_.size(); ++pos) {
+    ADAPCC_AUDIT_CHECK("simulator", heap_[pos].slot == kSentinel.slot,
+                       "non-sentinel padding at pos " << pos);
+  }
+  // Slot table: exactly the heap's slots are live; everything else is either
+  // on the free list or awaiting release inside step().
+  std::uint32_t live = 0;
+  for (std::uint32_t index = 0; index < slot_count_; ++index) {
+    if (slot_pos_[index] != kNone) ++live;
+  }
+  ADAPCC_AUDIT_CHECK("simulator", live == heap_size_,
+                     live << " slots with heap positions vs heap size " << heap_size_);
+  // Free list: no cycles (bounded walk), members have no heap position, and
+  // generation tags stayed >= 1 (a wrapped tag would resurrect stale ids).
+  std::uint32_t free_len = 0;
+  for (std::uint32_t index = free_head_; index != kNone; ++free_len) {
+    ADAPCC_AUDIT_CHECK("simulator", free_len <= slot_count_, "free-list cycle");
+    ADAPCC_AUDIT_CHECK("simulator", index < slot_count_, "free-list index " << index);
+    ADAPCC_AUDIT_CHECK("simulator", slot_pos_[index] == kNone,
+                       "free slot " << index << " still in heap");
+    const Slot& s = const_cast<Simulator*>(this)->slot(index);
+    ADAPCC_AUDIT_CHECK("simulator", s.generation >= 1, "generation wrapped on slot " << index);
+    index = s.next_free;
+  }
+  ADAPCC_AUDIT_CHECK("simulator", free_len + live <= slot_count_,
+                     "free " << free_len << " + live " << live << " > slots " << slot_count_);
 }
 
 bool Simulator::step() {

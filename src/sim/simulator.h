@@ -13,6 +13,8 @@
 // through a free list so schedule/cancel cycles do not grow memory.
 // Callbacks are InlineCallback (small-buffer optimized), so the hot path
 // performs no heap allocation per event.
+//
+// adapcc-lint: hot-path — std::function is banned in this file (DESIGN.md §7).
 #pragma once
 
 #include <cstdint>
@@ -62,6 +64,16 @@ class Simulator {
   /// FlowLink::reschedule_completion, which moves its completion event on
   /// every start_transfer / set_capacity.
   bool reschedule(EventId id, Seconds when);
+
+  /// Determinism/race probing: with a non-zero seed, ties between events
+  /// scheduled for the same timestamp are broken by a seeded pseudo-random
+  /// permutation of the insertion order instead of FIFO. Simulation results
+  /// must not depend on same-timestamp ordering; the tie-shuffle harness
+  /// (tools/determinism_check.py) re-runs benchmarks across seeds and diffs
+  /// the outputs — a race detector for simulated time. Seed 0 restores the
+  /// documented FIFO ordering. Affects only events scheduled after the call.
+  void set_tie_shuffle_seed(std::uint64_t seed) noexcept { tie_seed_ = seed; }
+  std::uint64_t tie_shuffle_seed() const noexcept { return tie_seed_; }
 
   /// Runs until the event queue is empty.
   void run();
@@ -143,9 +155,16 @@ class Simulator {
   /// Grows heap_ so indices [heap_size_, heap_size_+4] are readable and
   /// keeps everything past the live prefix at the +inf sentinel.
   void pad_heap();
+  /// Tie-break key for the next scheduled event: the raw FIFO sequence, or a
+  /// bijectively scrambled one under tie-shuffle (see set_tie_shuffle_seed).
+  std::uint64_t next_tie_key() noexcept;
+  /// ADAPCC_AUDIT hook: full heap-shape/slot-link/free-list verification,
+  /// O(n); a no-op in regular builds. Called after cancel and reschedule.
+  void audit_verify() const;
 
   Seconds now_ = 0.0;
   std::uint64_t next_sequence_ = 1;
+  std::uint64_t tie_seed_ = 0;
   std::uint64_t events_processed_ = 0;
   std::vector<std::unique_ptr<Slot[]>> slot_blocks_;
   std::uint32_t slot_count_ = 0;

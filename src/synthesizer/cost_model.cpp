@@ -37,6 +37,7 @@ void add_tree_loads(const SubCollective& sub, Primitive primitive,
     // Walk the tree once; edge (node -> parent) carries out(node) messages.
     std::unordered_map<NodeId, int> inputs;
     reduce_out_messages(sub, primitive, sub.tree.root, active_ranks, &inputs);
+    // lint:ordered — integer-valued += per distinct edge key: exact and commutative.
     for (const auto& [child, parent] : sub.tree.parent) {
       const int in = inputs.contains(child) ? inputs.at(child) : 0;
       if (in == 0) continue;
@@ -45,6 +46,7 @@ void add_tree_loads(const SubCollective& sub, Primitive primitive,
     }
   } else {
     // Broadcast: replicas of the same data are grouped as one flow per edge.
+    // lint:ordered — integer-valued += per distinct edge key: exact and commutative.
     for (const auto& [child, parent] : sub.tree.parent) {
       loads[EdgeKey{parent, child}] += 1.0;
     }
@@ -155,6 +157,7 @@ void CostEvaluator::build_sub_state(const SubCollective& sub, SubState& st) cons
   // same arithmetic) Tree::children_of produces for the recursive walks.
   std::unordered_map<NodeId, std::vector<NodeId>> children;
   for (const auto& [child, parent] : tree.parent) children[parent].push_back(child);
+  // lint:ordered — each per-parent list is sorted; visit order is irrelevant.
   for (auto& [node, kids] : children) std::sort(kids.begin(), kids.end());
 
   st.order.push_back(tree.root);
@@ -205,6 +208,7 @@ void CostEvaluator::build_sub_state(const SubCollective& sub, SubState& st) cons
 
 void CostEvaluator::build_loads() {
   const auto add_reduce = [&](const SubCollective& sub, const SubState& st) {
+    // lint:ordered — integer-valued += per distinct edge key: exact and commutative.
     for (const auto& [child, parent] : sub.tree.parent) {
       const auto it = st.index.find(child);
       const int out = it == st.index.end() ? 0 : st.out[it->second];
@@ -213,6 +217,7 @@ void CostEvaluator::build_loads() {
     }
   };
   const auto add_broadcast = [&](const SubCollective& sub) {
+    // lint:ordered — integer-valued += per distinct edge key: exact and commutative.
     for (const auto& [child, parent] : sub.tree.parent) loads_[EdgeKey{parent, child}] += 1.0;
   };
   for (std::size_t s = 0; s < strategy_.subs.size(); ++s) {
@@ -463,6 +468,7 @@ void CostEvaluator::on_aggregation_toggled(std::size_t sub_index, NodeId node) {
 BytesPerSecond aggregate_bandwidth(const Strategy& strategy, const LogicalTopology& topo) {
   std::set<std::pair<NodeId, NodeId>> used;
   for (const auto& sub : strategy.subs) {
+    // lint:ordered — inserts into an ordered std::set; iteration order irrelevant.
     for (const auto& [child, parent] : sub.tree.parent) {
       used.emplace(child, parent);
     }
@@ -492,6 +498,7 @@ double max_network_beta(const Strategy& strategy, const LogicalTopology& topo) {
     if (edge.type == topology::EdgeType::kNetwork) beta = std::max(beta, edge.beta);
   };
   for (const auto& sub : strategy.subs) {
+    // lint:ordered — max() accumulation is commutative.
     for (const auto& [child, parent] : sub.tree.parent) consider(child, parent);
     for (const auto& flow : sub.flows) {
       for (std::size_t i = 0; i + 1 < flow.path.size(); ++i) {

@@ -6,7 +6,9 @@
 #include <stdexcept>
 
 #include "collective/builders.h"
+#include "util/audit.h"
 #include "util/logging.h"
+#include "util/wallclock.h"
 
 namespace adapcc::synthesizer {
 
@@ -180,10 +182,30 @@ collective::Strategy Synthesizer::synthesize(Primitive primitive,
                                              const std::vector<int>& participants,
                                              Bytes tensor_bytes,
                                              const std::set<int>& active_ranks) {
-  const auto t0 = std::chrono::steady_clock::now();
+  // Host-side solve timing (Fig. 19c) — reporting only, never fed back into
+  // the search; direct clock reads are banned here (lint rule wall-clock).
+  const util::WallTimer solve_timer;
   report_ = SynthesisReport{};
   std::set<int> active = active_ranks;
   if (active.empty()) active.insert(participants.begin(), participants.end());
+
+  // ADAPCC_AUDIT: the memoized CostEvaluator claims bit-identical parity
+  // with the one-shot estimate_completion_time. Re-derive every 5th
+  // evaluation from scratch during real solves and require exact equality —
+  // loads are integer-valued doubles, so any drift is a bug, not rounding.
+  std::uint64_t audit_evals = 0;
+  const auto audit_parity = [&](const Strategy& strategy, Seconds memoized) {
+    if constexpr (audit::kEnabled) {
+      if (++audit_evals % 5 != 0) return;
+      const Seconds one_shot = estimate_completion_time(strategy, topo_, tensor_bytes, active);
+      ADAPCC_AUDIT_CHECK("synthesizer", memoized == one_shot,
+                         "memoized " << memoized << "s != one-shot " << one_shot
+                                     << "s after " << audit_evals << " evaluations");
+    } else {
+      static_cast<void>(strategy);
+      static_cast<void>(memoized);
+    }
+  };
 
   Strategy best;
   best.primitive = primitive;
@@ -218,8 +240,7 @@ collective::Strategy Synthesizer::synthesize(Primitive primitive,
       }
     }
     report_.model_cost = best_cost;
-    report_.solve_time_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    report_.solve_time_seconds = solve_timer.elapsed_seconds();
     return best;
   }
 
@@ -303,6 +324,7 @@ collective::Strategy Synthesizer::synthesize(Primitive primitive,
     for (const Bytes chunk : config_.chunk_candidates) {
       for (auto& sub : candidate.subs) sub.chunk_bytes = chunk;
       const Seconds cost = evaluator.completion_time();
+      audit_parity(candidate, cost);
       ++report_.candidates_evaluated;
       ADAPCC_LOG(kDebug, "synth") << "assignment size=" << assignment.size() << " first-root="
                                   << to_string(candidate.subs[0].tree.root) << " last-root="
@@ -333,6 +355,7 @@ collective::Strategy Synthesizer::synthesize(Primitive primitive,
           sub.aggregate_at[node] = !current;
           evaluator.on_aggregation_toggled(si, node);
           const Seconds cost = evaluator.completion_time();
+          audit_parity(best, cost);
           ++report_.candidates_evaluated;
           if (cost + 1e-12 < best_cost) {
             best_cost = cost;
@@ -347,8 +370,7 @@ collective::Strategy Synthesizer::synthesize(Primitive primitive,
   }
 
   report_.model_cost = best_cost;
-  report_.solve_time_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  report_.solve_time_seconds = solve_timer.elapsed_seconds();
   ADAPCC_LOG(kInfo, "synthesizer") << "synthesized " << to_string(primitive) << " cost="
                                    << best_cost << "s candidates=" << report_.candidates_evaluated
                                    << " solve=" << report_.solve_time_seconds << "s";

@@ -16,7 +16,6 @@
 // Solve time is reported for Fig. 19(c).
 #pragma once
 
-#include <chrono>
 #include <set>
 #include <vector>
 

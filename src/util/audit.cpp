@@ -1,0 +1,29 @@
+#include "util/audit.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace adapcc::audit {
+
+namespace {
+std::atomic<FailureMode> g_mode{FailureMode::kAbort};
+std::atomic<std::uint64_t> g_checks{0};
+}  // namespace
+
+void set_failure_mode(FailureMode mode) noexcept { g_mode.store(mode, std::memory_order_relaxed); }
+FailureMode failure_mode() noexcept { return g_mode.load(std::memory_order_relaxed); }
+
+std::uint64_t checks_run() noexcept { return g_checks.load(std::memory_order_relaxed); }
+void count_check() noexcept { g_checks.fetch_add(1, std::memory_order_relaxed); }
+
+void fail(const char* subsystem, const char* condition, const std::string& detail) {
+  const std::string message = std::string("audit[") + subsystem + "] invariant violated: " +
+                              condition + (detail.empty() ? "" : " — " + detail);
+  ADAPCC_LOG(kError, "audit") << message;
+  if (failure_mode() == FailureMode::kThrow) throw AuditError(message);
+  std::abort();
+}
+
+}  // namespace adapcc::audit

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "collective/behavior.h"
 #include "collective/builders.h"
@@ -73,6 +75,24 @@ TEST(TreeTest, DepthDetectsCycles) {
   tree.parent[NodeId::gpu(1)] = NodeId::gpu(2);
   tree.parent[NodeId::gpu(2)] = NodeId::gpu(1);
   EXPECT_THROW(tree.depth_of(NodeId::gpu(1)), std::invalid_argument);
+}
+
+TEST(TreeTest, NodesListsRootFirstThenAscending) {
+  // Callers iterate nodes() to build channels and order the aggregation
+  // local search; the order must not depend on hash-map iteration. Pin it:
+  // root first, everything else ascending by NodeId.
+  Tree tree;
+  tree.root = NodeId::gpu(2);
+  tree.parent[NodeId::nic(1)] = NodeId::gpu(2);
+  tree.parent[NodeId::gpu(5)] = NodeId::nic(1);
+  tree.parent[NodeId::gpu(0)] = NodeId::gpu(2);
+  tree.parent[NodeId::gpu(3)] = NodeId::gpu(0);
+  const std::vector<NodeId> nodes = tree.nodes();
+  ASSERT_EQ(nodes.size(), 5u);
+  EXPECT_EQ(nodes.front(), NodeId::gpu(2));
+  for (std::size_t i = 2; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i - 1], nodes[i]) << "nodes() not sorted at " << i;
+  }
 }
 
 // --- Behavior tuples (Sec. IV-C-3, Fig. 7) -----------------------------------
@@ -455,6 +475,38 @@ TEST_F(ExecutorTest, RejectsConcurrentInvocations) {
   executor.start(megabytes(16), {}, nullptr);
   EXPECT_THROW(executor.start(megabytes(16), {}, nullptr), std::logic_error);
   sim_->run();
+}
+
+TEST_F(ExecutorTest, ResultsInvariantUnderTieShuffle) {
+  // Regression pin for a use-after-free: the completion callback and the
+  // invocation-destroying idle event land at the same timestamp, and a
+  // shuffled tie order used to run the teardown first, leaving the
+  // completion reading freed state. Any tie-break order must now produce
+  // the same delivered values bit-for-bit (and not crash). Finish times may
+  // wobble by ULPs: when several chunk completions coincide on a shared
+  // link, the order the zero-width events fire in changes which rate value
+  // each next-ETA expression is evaluated with — so elapsed gets a
+  // sub-picosecond tolerance instead of exact equality.
+  std::vector<double> elapsed;
+  std::vector<double> root_value;
+  for (const std::uint64_t seed : {0ULL, 1ULL, 0x5bd1e995ULL, 0x9e3779b97f4a7c15ULL}) {
+    build(topology::heter_testbed());
+    sim_->set_tie_shuffle_seed(seed);
+    Strategy strategy = single_tree_strategy(
+        Primitive::kAllReduce, {0, 1, 2, 3, 4, 5, 6, 7},
+        kary_tree({NodeId::gpu(0), NodeId::gpu(1), NodeId::gpu(2), NodeId::gpu(3),
+                   NodeId::gpu(4), NodeId::gpu(5), NodeId::gpu(6), NodeId::gpu(7)},
+                  2),
+        4_MiB);
+    Executor executor(*cluster_, strategy);
+    const CollectiveResult result = executor.run(megabytes(64));
+    elapsed.push_back(result.elapsed());
+    root_value.push_back(result.delivered.at(0)[0][0]);
+  }
+  for (std::size_t i = 1; i < elapsed.size(); ++i) {
+    EXPECT_NEAR(elapsed[i], elapsed[0], 1e-12) << "tie-shuffle seed changed the finish time";
+    EXPECT_EQ(root_value[i], root_value[0]);
+  }
 }
 
 // --- Schedule generation (Sec. IV-C-3 / V) -----------------------------------

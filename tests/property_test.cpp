@@ -138,11 +138,11 @@ INSTANTIATE_TEST_SUITE_P(
                                          TestCluster::kHeter, TestCluster::kFragmented),
                        ::testing::Values(megabytes(16), megabytes(96)),
                        ::testing::Values(Bytes(1_MiB), Bytes(8_MiB))),
-    [](const ::testing::TestParamInfo<CorrectnessParam>& info) {
-      return collective::to_string(std::get<0>(info.param)) + "_" +
-             cluster_name(std::get<1>(info.param)) + "_" +
-             std::to_string(std::get<2>(info.param) / 1000000) + "MB_" +
-             std::to_string(std::get<3>(info.param) / 1024 / 1024) + "MiBchunk";
+    [](const ::testing::TestParamInfo<CorrectnessParam>& param_info) {
+      return collective::to_string(std::get<0>(param_info.param)) + "_" +
+             cluster_name(std::get<1>(param_info.param)) + "_" +
+             std::to_string(std::get<2>(param_info.param) / 1000000) + "MB_" +
+             std::to_string(std::get<3>(param_info.param) / 1024 / 1024) + "MiBchunk";
     });
 
 // ---------------------------------------------------------------------------
@@ -169,16 +169,22 @@ TEST_P(BehaviorProperty, InvariantsHoldOnRandomTrees) {
     const NodeId node = NodeId::gpu(n);
     const auto tuple = collective::derive_behavior(sub, Primitive::kReduce, node, active);
     // Root never sends.
-    if (node == sub.tree.root) EXPECT_FALSE(tuple.has_send);
+    if (node == sub.tree.root) {
+      EXPECT_FALSE(tuple.has_send);
+    }
     // A rank with nothing local and nothing received does nothing.
     if (!tuple.is_active && !tuple.has_recv) {
       EXPECT_FALSE(tuple.has_send);
       EXPECT_FALSE(tuple.has_kernel);
     }
     // Aggregation requires something to aggregate with.
-    if (tuple.has_kernel) EXPECT_TRUE(tuple.has_recv);
+    if (tuple.has_kernel) {
+      EXPECT_TRUE(tuple.has_recv);
+    }
     // Leaves receive nothing.
-    if (sub.tree.children_of(node).empty()) EXPECT_FALSE(tuple.has_recv);
+    if (sub.tree.children_of(node).empty()) {
+      EXPECT_FALSE(tuple.has_recv);
+    }
     // is_active mirrors the active set exactly.
     EXPECT_EQ(tuple.is_active, active.contains(n));
     // hasRecv is exactly "some active rank below me".

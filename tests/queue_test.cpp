@@ -2,11 +2,17 @@
 // communication hook with gradient bucketing (Sec. VI-A).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "collective/builders.h"
 #include "runtime/adapcc.h"
 #include "runtime/ddp_hook.h"
+#include "runtime/submission_queue.h"
 #include "runtime/work_queue.h"
 #include "topology/testbeds.h"
 
@@ -107,6 +113,107 @@ TEST_F(QueueTest, FetchBeforeCompletionIsEmpty) {
   EXPECT_TRUE(queue_->try_fetch().has_value());
 }
 
+// --- Submission queue (thread-safe staging inbox) ------------------------------
+
+// These tests drive SubmissionQueue with real producer threads; the TSan CI
+// job runs them under -fsanitize=thread to certify the locking.
+
+TEST(SubmissionQueueTest, ConcurrentProducersGetDenseTicketsAndFifoDrain) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 64;
+  runtime::SubmissionQueue inbox;
+  std::vector<std::vector<std::uint64_t>> tickets(kThreads);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&inbox, &tickets, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        CommRequest request;
+        request.id = t * 1000 + i;
+        tickets[static_cast<std::size_t>(t)].push_back(inbox.stage(std::move(request)));
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+
+  // Tickets are a dense 1..N permutation, and each producer saw its own
+  // tickets strictly increase (its requests keep their relative order).
+  std::vector<std::uint64_t> all;
+  for (const auto& per_thread : tickets) {
+    for (std::size_t i = 1; i < per_thread.size(); ++i) {
+      EXPECT_LT(per_thread[i - 1], per_thread[i]);
+    }
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i + 1);
+
+  // drain() returns ticket order, which preserves each producer's FIFO.
+  EXPECT_EQ(inbox.staged(), all.size());
+  const std::vector<CommRequest> drained = inbox.drain();
+  ASSERT_EQ(drained.size(), all.size());
+  std::map<int, int> last_per_thread;
+  for (const CommRequest& request : drained) {
+    const int thread = request.id / 1000;
+    const int index = request.id % 1000;
+    const auto it = last_per_thread.find(thread);
+    if (it != last_per_thread.end()) {
+      EXPECT_GT(index, it->second);
+    }
+    last_per_thread[thread] = index;
+  }
+  EXPECT_EQ(inbox.staged(), 0u);
+}
+
+TEST(SubmissionQueueTest, WaitForWorkBlocksUntilStagedOrClosed) {
+  runtime::SubmissionQueue inbox;
+  bool woke_with_work = false;
+  std::thread consumer([&inbox, &woke_with_work] { woke_with_work = inbox.wait_for_work(); });
+  inbox.stage(CommRequest{});
+  consumer.join();
+  EXPECT_TRUE(woke_with_work);
+
+  inbox.drain();
+  bool woke_on_close = true;
+  std::thread closed_consumer(
+      [&inbox, &woke_on_close] { woke_on_close = inbox.wait_for_work(); });
+  inbox.close();
+  closed_consumer.join();
+  EXPECT_FALSE(woke_on_close);
+}
+
+TEST(SubmissionQueueTest, CloseRejectsLateStaging) {
+  runtime::SubmissionQueue inbox;
+  EXPECT_EQ(inbox.stage(CommRequest{}), 1u);
+  inbox.close();
+  EXPECT_TRUE(inbox.closed());
+  EXPECT_EQ(inbox.stage(CommRequest{}), 0u);  // ignored
+  EXPECT_EQ(inbox.staged(), 1u);              // pre-close request survives
+}
+
+TEST_F(QueueTest, StagedRequestsFlowThroughWorkQueueInTicketOrder) {
+  runtime::SubmissionQueue inbox;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 3; ++t) {
+    producers.emplace_back([&inbox] {
+      for (int i = 0; i < 4; ++i) {
+        CommRequest request;
+        request.tensor_bytes = megabytes(2);
+        inbox.stage(std::move(request));
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  EXPECT_EQ(inbox.drain_into(*queue_), 12u);
+  queue_->drain(*sim_);
+  ASSERT_EQ(queue_->completed(), 12u);
+  Seconds previous = 0.0;
+  while (const auto entry = queue_->try_fetch()) {
+    EXPECT_GE(entry->result.finished, previous);
+    previous = entry->result.finished;
+  }
+}
+
 // --- DDP hook -----------------------------------------------------------------
 
 class DdpHookTest : public ::testing::Test {
@@ -168,7 +275,6 @@ TEST_F(DdpHookTest, OverlapHidesCommunicationBehindBackward) {
   collective::CollectiveOptions options;
   for (int r = 0; r < 16; ++r) options.ready_at[r] = sim_->now() + backward_end;
   const auto monolithic = whole.run(tensor, options);
-  const Seconds monolithic_tail = monolithic.finished - sim_->now() + 0.0;
   EXPECT_LT(tail, 0.5 * (monolithic.elapsed() - backward_end + 1e-9) + 0.05);
 }
 

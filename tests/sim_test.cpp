@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "sim/edge_channel.h"
@@ -130,6 +132,48 @@ TEST(SimulatorTest, RescheduleChurnLeavesNoResidue) {
   EXPECT_LE(sim.slot_capacity(), 64u);
 }
 
+TEST(SimulatorTest, TieShuffleSeedZeroKeepsFifoOrder) {
+  Simulator sim;
+  sim.set_tie_shuffle_seed(0);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, TieShufflePermutesSameTimestampOrderDeterministically) {
+  // The determinism harness (tools/determinism_check.py) relies on a nonzero
+  // seed producing a reproducible but non-FIFO same-timestamp order, while
+  // cross-timestamp order stays strictly chronological.
+  const auto run_with_seed = [](std::uint64_t seed) {
+    Simulator sim;
+    sim.set_tie_shuffle_seed(seed);
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i) {
+      sim.schedule_at(2.0, [&order, i] { order.push_back(i); });
+    }
+    sim.schedule_at(1.0, [&order] { order.push_back(-1); });
+    sim.schedule_at(3.0, [&order] { order.push_back(100); });
+    sim.run();
+    return order;
+  };
+  const std::vector<int> fifo = run_with_seed(0);
+  const std::vector<int> shuffled = run_with_seed(0x9e3779b97f4a7c15ULL);
+  ASSERT_EQ(shuffled.size(), 18u);
+  EXPECT_EQ(shuffled.front(), -1);  // earlier timestamp still fires first
+  EXPECT_EQ(shuffled.back(), 100);  // later timestamp still fires last
+  // Same event set, different arrival order within the tie.
+  std::vector<int> sorted_ties(shuffled.begin() + 1, shuffled.end() - 1);
+  std::sort(sorted_ties.begin(), sorted_ties.end());
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(sorted_ties[static_cast<std::size_t>(i)], i);
+  EXPECT_NE(shuffled, fifo);
+  // Reproducible: the same seed yields the identical order.
+  EXPECT_EQ(run_with_seed(0x9e3779b97f4a7c15ULL), shuffled);
+  EXPECT_EQ(sim::Simulator{}.tie_shuffle_seed(), 0u);  // default stays FIFO
+}
+
 // --- FlowLink -------------------------------------------------------------
 
 TEST(FlowLinkTest, SoloTransferTakesAlphaPlusServiceTime) {
@@ -248,6 +292,30 @@ TEST(FlowLinkTest, BusyTimeTracksActivity) {
 }
 
 // --- GpuStream --------------------------------------------------------------
+
+TEST(FlowLinkTest, DueTransferCompletesDespiteClampWindowPokes) {
+  // Regression pin, found by the ADAPCC_AUDIT byte-conservation checks: a
+  // completion whose exact ETA underflows the kMinEta floor fires up to one
+  // nanosecond after the true crossing. A link event landing inside that
+  // window advances the service counter past the target; rescheduling used
+  // to re-clamp the already-due transfer another kMinEta into the future,
+  // adding a spurious nanosecond of in-flight time per poke. It must now
+  // complete via a zero-delay event at the poke itself.
+  Simulator sim;
+  FlowLink link(sim, "l", 0.0, gBps(1));  // 1000 bytes -> crossing at 1 us
+  Seconds done_at = -1;
+  link.start_transfer(1000, [&] { done_at = sim.now(); });
+  // Just before the crossing: remaining is 0.25 bytes, exact ETA 0.25 ns,
+  // so the completion event is clamped to fire 1 ns out.
+  sim.schedule_at(1e-6 - 0.25e-9, [&] { link.set_capacity(gBps(1)); });
+  // Inside the clamp window, past the crossing: the counter is now beyond
+  // the target. The poke must finish the transfer here, not postpone it.
+  sim.schedule_at(1e-6 + 0.5e-9, [&] { link.set_capacity(gBps(1)); });
+  sim.run();
+  EXPECT_GE(done_at, 1e-6);
+  EXPECT_LE(done_at, 1e-6 + 1e-9);
+  EXPECT_EQ(link.bytes_delivered(), 1000u);
+}
 
 TEST(GpuStreamTest, OperationsSerialize) {
   Simulator sim;

@@ -207,7 +207,9 @@ TEST_F(DetectorTest, RecoversNvlinkAdjacency) {
   const auto& full = result.instances[1];
   for (int a = 0; a < 4; ++a) {
     for (int b = 0; b < 4; ++b) {
-      if (a != b) EXPECT_TRUE(full.nvlink[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]);
+      if (a != b) {
+        EXPECT_TRUE(full.nvlink[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]);
+      }
     }
   }
 }
