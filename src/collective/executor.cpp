@@ -66,8 +66,20 @@ class Executor::Invocation {
       // Degenerate (e.g. zero-byte tensor): complete immediately.
       finish();
     } else {
+      if (options_.watchdog_timeout > 0) {
+        watchdog_event_ =
+            sim_.schedule_after(options_.watchdog_timeout, [this] { on_watchdog(); });
+      }
       for (auto& sub : subs_) launch_sub(*sub);
     }
+  }
+
+  ~Invocation() {
+    // Normal teardown happens via on_idle_ with every event drained; on the
+    // abort path (and defensive destruction) pending events capturing `this`
+    // must be disarmed first.
+    sim_.cancel(watchdog_event_);
+    for (const sim::EventId& id : op_events_) sim_.cancel(id);
   }
 
   bool idle() const noexcept { return pending_ops_ == 0; }
@@ -295,6 +307,11 @@ class Executor::Invocation {
     return it == options_.ready_at.end() ? sim_.now() : std::max(sim_.now(), it->second);
   }
 
+  Seconds death_time(int rank) const {
+    const auto it = options_.dead_at.find(rank);
+    return it == options_.dead_at.end() ? std::numeric_limits<Seconds>::infinity() : it->second;
+  }
+
   void launch_sub(SubRun& run) {
     if (strategy_.primitive == Primitive::kAllToAll) {
       launch_alltoall(run);
@@ -306,6 +323,7 @@ class Executor::Invocation {
       for (auto& [node, state] : run.nodes) {
         if (!state.behavior.is_active) continue;
         const int rank = node.index;
+        const Seconds dead = death_time(rank);
         const auto fill_it = options_.fill_start.find(rank);
         if (fill_it != options_.fill_start.end() && run.chunks > 0) {
           const Seconds end = ready_time(rank);
@@ -314,6 +332,9 @@ class Executor::Invocation {
             const Seconds when =
                 begin + (end - begin) * static_cast<double>(c + 1) /
                             static_cast<double>(run.chunks);
+            // Mid-collective crash: chunks filled after the crash never
+            // appear (the rank contributed a prefix, then died).
+            if (when > dead) continue;
             schedule_op(when, [this, &run, node = node, rank, c] {
               on_reduce_input(run, node, c,
                               ChunkMessage{payload_value(rank, run.index, c), rank_bit(rank)});
@@ -321,6 +342,7 @@ class Executor::Invocation {
           }
           continue;
         }
+        if (ready_time(rank) > dead) continue;  // crashed before the tensor was ready
         schedule_op(ready_time(rank), [this, &run, node = node, rank] {
           for (int c = 0; c < run.chunks; ++c) {
             on_reduce_input(run, node, c,
@@ -332,6 +354,7 @@ class Executor::Invocation {
       // Pure broadcast: the root injects its own tensor.
       const NodeId root = run.spec->tree.root;
       const int rank = root.index;
+      if (ready_time(rank) > death_time(rank)) return;  // dead root: watchdog territory
       schedule_op(ready_time(rank), [this, &run, rank] {
         for (int c = 0; c < run.chunks; ++c) {
           inject_broadcast(run, c, ChunkMessage{payload_value(rank, run.index, c), rank_bit(rank)});
@@ -346,6 +369,7 @@ class Executor::Invocation {
     std::map<int, std::vector<FlowState*>> by_source;
     for (auto& flow : run.flows) by_source[flow.route->src.index].push_back(&flow);
     for (auto& [src, flows] : by_source) {
+      if (ready_time(src) > death_time(src)) continue;  // crashed source sends nothing
       auto state = std::make_shared<SourceQueue>();
       state->flows = flows;
       state->limit = run.spec->alltoall_concurrency > 0
@@ -530,10 +554,13 @@ class Executor::Invocation {
 
   void schedule_op(Seconds when, std::function<void()> body) {
     ++pending_ops_;
-    sim_.schedule_at(std::max(when, sim_.now()), [this, body = std::move(body)] {
-      body();
-      op_done();
-    });
+    // Ids are kept so an abort can cancel everything still pending; fired
+    // ids go stale harmlessly (generation tags).
+    op_events_.push_back(
+        sim_.schedule_at(std::max(when, sim_.now()), [this, body = std::move(body)] {
+          body();
+          op_done();
+        }));
   }
 
   void op_done() {
@@ -543,8 +570,67 @@ class Executor::Invocation {
     }
   }
 
+  /// Active ranks that have not finished contributing: crashed before their
+  /// tensor was fully ready, or still not ready now. These are the abort's
+  /// suspects — the set the recovery orchestrator excludes.
+  std::set<int> unfinished_ranks() const {
+    std::set<int> out;
+    for (const int rank : options_.active_ranks) {
+      const auto it = options_.ready_at.find(rank);
+      const Seconds ready =
+          it == options_.ready_at.end() ? result_.started : std::max(result_.started, it->second);
+      // Suspect anyone already dead (mid-collective crash: its undelivered
+      // chunks are what stalled the aggregation) or still not ready.
+      if (death_time(rank) <= sim_.now() || ready > sim_.now()) out.insert(rank);
+    }
+    return out;
+  }
+
+  void on_watchdog() {
+    watchdog_event_ = sim::EventId{};
+    if (finished_) return;
+    CollectiveError error;
+    error.code = CollectiveErrorCode::kWatchdogTimeout;
+    error.at = sim_.now();
+    error.suspects = unfinished_ranks();
+    error.detail = "watchdog expired after " + std::to_string(options_.watchdog_timeout) +
+                   "s with " + std::to_string(outstanding_) + " deliverables outstanding";
+    if (auto* t = telemetry::get()) {
+      t->metrics().counter("executor.watchdog_fired").add(1.0);
+      t->trace().instant(t->trace().track("executor"), "watchdog-abort", sim_.now(),
+                         telemetry::kv("suspects", static_cast<double>(error.suspects.size())));
+    }
+    ADAPCC_LOG(kWarn, "executor") << error.detail;
+    abort_invocation(std::move(error));
+  }
+
+  /// Cancels every outstanding simulator event of this invocation (ops,
+  /// channel transfers, kernel retirements), releases the channels' queued
+  /// chunks, and completes with the error. After this the only events left
+  /// are the completion/idle deliveries scheduled by finish() — the drain
+  /// loop in Executor::run terminates immediately instead of chasing a
+  /// stalled link forever.
+  void abort_invocation(CollectiveError error) {
+    if (aborted_ || finished_) return;
+    aborted_ = true;
+    for (const sim::EventId& id : op_events_) sim_.cancel(id);
+    op_events_.clear();
+    for (auto& channel : channels_) channel->abort();
+    for (auto& sub : subs_) {
+      for (auto& flow : sub->flows) {
+        if (flow.channel) flow.channel->abort();
+      }
+    }
+    for (auto& stream : streams_) stream->cancel_pending();
+    pending_ops_ = 0;
+    result_.error = std::move(error);
+    finish();
+  }
+
   void finish() {
     finished_ = true;
+    sim_.cancel(watchdog_event_);
+    watchdog_event_ = sim::EventId{};
     result_.finished = sim_.now();
     result_.subs.resize(strategy_.subs.size());
     if (auto* t = telemetry::get()) {
@@ -587,6 +673,11 @@ class Executor::Invocation {
   long outstanding_ = 0;
   long pending_ops_ = 0;
   bool finished_ = false;
+  bool aborted_ = false;
+  sim::EventId watchdog_event_{};
+  /// Every schedule_op event issued, for cancellation on abort (bounded by
+  /// ranks x chunks per invocation).
+  std::vector<sim::EventId> op_events_;
   /// The on_complete_ delivery event has run; only then may on_idle_ (which
   /// destroys the invocation) be scheduled — see finish().
   bool completion_delivered_ = false;

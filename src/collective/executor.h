@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "collective/behavior.h"
@@ -41,6 +42,39 @@ struct CollectiveOptions {
   /// instead of all chunks appearing at ready_at[r]. This is what lets late
   /// workers' chunks "join the ongoing aggregation" of phase 1.
   std::map<int, Seconds> fill_start;
+  /// Crash model (chaos harness): a rank listed here stops contributing at
+  /// the given absolute time. Chunks whose availability falls at or before
+  /// the crash are still contributed (mid-collective partial contribution);
+  /// everything later never appears, so aggregators waiting on the dead
+  /// rank's remaining chunks stall until the watchdog fires.
+  std::map<int, Seconds> dead_at;
+  /// Per-collective watchdog: when > 0, the invocation aborts this many
+  /// simulated seconds after start if it has not completed — outstanding
+  /// events are cancelled, channels and streams drained, and the result
+  /// carries a structured CollectiveError instead of the executor hanging
+  /// (or throwing) on a drained simulator. 0 disables the watchdog.
+  Seconds watchdog_timeout = 0.0;
+};
+
+enum class CollectiveErrorCode {
+  kNone = 0,
+  /// The watchdog expired before every deliverable landed.
+  kWatchdogTimeout,
+};
+
+/// Structured failure report of an aborted collective (Sec. IV-C-2 fault
+/// recovery: the caller excludes the suspects, resynthesizes, re-executes).
+struct CollectiveError {
+  CollectiveErrorCode code = CollectiveErrorCode::kNone;
+  /// Simulated time of the abort.
+  Seconds at = 0.0;
+  /// Active ranks that had not finished contributing when the abort fired:
+  /// crashed ranks and ranks whose tensor never became ready. Empty when the
+  /// stall has no rank-level culprit (e.g. a pure link blackout) — such a
+  /// failure is retryable without excluding anyone.
+  std::set<int> suspects;
+  std::string detail;
+  explicit operator bool() const noexcept { return code != CollectiveErrorCode::kNone; }
 };
 
 struct SubResult {
@@ -64,6 +98,10 @@ struct CollectiveResult {
   std::map<int, std::map<int, std::vector<double>>> alltoall_received;
   /// When each rank observed its last delivery (completion per worker).
   std::map<int, Seconds> rank_finish_time;
+  /// Set when the collective was aborted (watchdog); partial results above
+  /// reflect whatever had been delivered by then.
+  CollectiveError error;
+  bool ok() const noexcept { return error.code == CollectiveErrorCode::kNone; }
 };
 
 /// Executes collectives for one Strategy. The executor owns the simulated

@@ -126,7 +126,12 @@ RelayDecision Coordinator::decide(const std::map<int, Seconds>& ready_at, Second
 }
 
 Seconds Coordinator::fault_deadline(Seconds phase1_finish, Seconds request_time) const noexcept {
-  return phase1_finish + config_.fault_multiplier * (phase1_finish - request_time);
+  // Floor the scaling span at one coordinator cycle: an immediate trigger
+  // (kAlwaysProceed, or everyone ready at request time) makes
+  // phase1_finish - request_time collapse toward zero, which would set
+  // T_fault ~ 0 and instantly flag mildly late workers as faulty.
+  const Seconds span = std::max(phase1_finish - request_time, config_.cycle);
+  return phase1_finish + config_.fault_multiplier * span;
 }
 
 }  // namespace adapcc::relay

@@ -32,6 +32,13 @@ struct CoordinatorConfig {
   /// as joiners: their chunks enter the ongoing aggregation while their
   /// buffers fill (Sec. IV-C), so no phase-2 work remains for them.
   double join_horizon_factor = 2.0;
+  /// Per-collective watchdog for the phase-1 executor (see
+  /// CollectiveOptions::watchdog_timeout); 0 disables it. With a watchdog, a
+  /// joiner that crashes mid-collective aborts phase 1 instead of stalling
+  /// it forever, and the runner re-executes for the survivors.
+  Seconds watchdog_timeout = 0.0;
+  /// Bound on phase-1 (re-)executions per iteration under the watchdog.
+  int max_recovery_attempts = 3;
 };
 
 struct RelayDecision {
@@ -74,6 +81,8 @@ class Coordinator {
   /// span (which includes the fastest worker's wait) keeps ordinary compute
   /// stagger well inside the deadline while still detecting dead workers in
   /// a few seconds — far quicker than PyTorch Elastic's 15 s keep-alive.
+  /// The span is floored at one coordinator cycle so a zero-wait trigger
+  /// cannot collapse T_fault to ~0.
   Seconds fault_deadline(Seconds phase1_finish, Seconds request_time) const noexcept;
 
   const CoordinatorConfig& config() const noexcept { return config_; }

@@ -22,6 +22,17 @@ void DataLoader::redistribute(const std::set<int>& failed) {
   split();
 }
 
+void DataLoader::readmit(const std::set<int>& recovered) {
+  std::vector<int> added;
+  for (const int w : recovered) {
+    if (!std::binary_search(workers_.begin(), workers_.end(), w)) added.push_back(w);
+  }
+  if (added.empty()) return;
+  workers_.insert(workers_.end(), added.begin(), added.end());
+  std::sort(workers_.begin(), workers_.end());
+  split();
+}
+
 int DataLoader::batch_of(int worker) const {
   const auto it = batch_of_.find(worker);
   if (it == batch_of_.end()) throw std::out_of_range("DataLoader: unknown worker");

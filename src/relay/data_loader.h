@@ -20,6 +20,13 @@ class DataLoader {
   /// Removes `failed` workers and re-splits the global batch among the rest.
   void redistribute(const std::set<int>& failed);
 
+  /// Re-admission path (pairs with Adapcc::include_workers): adds
+  /// `recovered` workers back and re-splits the same global batch across the
+  /// enlarged group, so participants and loader shards cannot diverge after
+  /// a recovery. Workers already present are ignored; the global batch size
+  /// is preserved exactly.
+  void readmit(const std::set<int>& recovered);
+
   int batch_of(int worker) const;
   int global_batch_size() const noexcept { return global_batch_; }
   const std::vector<int>& workers() const noexcept { return workers_; }

@@ -65,7 +65,8 @@ Tree RelayCollectiveRunner::broadcast_tree(const std::vector<int>& participants,
 
 RelayRunResult RelayCollectiveRunner::run_allreduce(const Strategy& strategy, Bytes tensor_bytes,
                                                     const std::map<int, Seconds>& ready_at,
-                                                    const std::map<int, Seconds>& fill_start) {
+                                                    const std::map<int, Seconds>& fill_start,
+                                                    const std::map<int, Seconds>& dead_at) {
   sim::Simulator& sim = cluster_.simulator();
   RelayRunResult result;
   const Seconds request_time = sim.now();
@@ -133,6 +134,8 @@ RelayRunResult RelayCollectiveRunner::run_allreduce(const Strategy& strategy, By
     const auto it = fill_start.find(rank);
     if (it != fill_start.end()) options.fill_start[rank] = it->second;
   }
+  options.dead_at = dead_at;
+  options.watchdog_timeout = coordinator_.config().watchdog_timeout;
 
   if (auto* t = telemetry::get()) {
     const telemetry::TrackId track = t->trace().track("relay");
@@ -148,7 +151,51 @@ RelayRunResult RelayCollectiveRunner::run_allreduce(const Strategy& strategy, By
   }
 
   Executor executor(cluster_, strategy);
-  const CollectiveResult phase1 = executor.run(tensor_bytes, options);
+  CollectiveResult phase1 = executor.run(tensor_bytes, options);
+  // --- Watchdog recovery (Sec. IV-C-2): a mid-collective crash (e.g. a
+  // joiner dying while its chunks stream in) aborts phase 1 instead of
+  // stalling it. The suspects become faulty, and phase 1 re-executes for
+  // the survivors; a stall with no rank-level culprit (link blackout) gets
+  // one watchdog window to heal before each retry.
+  while (!phase1.ok() && result.phase1_attempts < coordinator_.config().max_recovery_attempts) {
+    ++result.phase1_attempts;
+    if (auto* t = telemetry::get()) {
+      t->metrics().counter("relay.phase1_retries").add(1.0);
+      t->trace().instant(t->trace().track("relay"), "phase1-retry", sim.now(),
+                         telemetry::kv("suspects",
+                                       static_cast<double>(phase1.error.suspects.size())));
+    }
+    if (!phase1.error.suspects.empty()) {
+      for (const int rank : phase1.error.suspects) {
+        result.faulty.insert(rank);
+        phase1_active.erase(rank);
+        options.active_ranks.erase(rank);
+        options.fill_start.erase(rank);
+      }
+      std::erase_if(result.joined, [&](int rank) { return phase1.error.suspects.contains(rank); });
+      std::erase_if(still_late, [&](int rank) { return result.faulty.contains(rank); });
+      if (phase1_active.size() < 2) break;  // nothing meaningful left to aggregate
+    } else {
+      // Give the network one more watchdog window before retrying.
+      bool healed = false;
+      sim.schedule_after(coordinator_.config().watchdog_timeout, [&healed] { healed = true; });
+      while (!healed && sim.step()) {
+      }
+    }
+    phase1 = executor.run(tensor_bytes, options);
+  }
+  if (!phase1.ok()) {
+    // Unrecovered within the attempt budget: report the structured error and
+    // whatever suspects remain, rather than hanging or returning bogus data.
+    result.error = phase1.error;
+    for (const int rank : phase1.error.suspects) result.faulty.insert(rank);
+    result.phase1_finish = result.phase2_finish = phase1.finished;
+    result.final_values.clear();
+    result.final_mask = 0;
+    result.comm_time = phase1.finished - decision.trigger_time;
+    result.total_time = phase1.finished - fastest;
+    return result;
+  }
   result.phase1_finish = phase1.finished;
   if (auto* t = telemetry::get()) {
     t->trace().complete(t->trace().track("relay"), decision.partial ? "phase1" : "full-collective",
@@ -177,7 +224,13 @@ RelayRunResult RelayCollectiveRunner::run_allreduce(const Strategy& strategy, By
     std::vector<int> late_ok;
     for (const int rank : still_late) {
       const auto it = ready_at.find(rank);
-      const Seconds t = it == ready_at.end() ? result.phase1_finish : it->second;
+      Seconds t = it == ready_at.end() ? result.phase1_finish : it->second;
+      // A rank that crashed before producing its tensor never becomes ready,
+      // whatever its nominal compute-finish time said.
+      const auto dead_it = dead_at.find(rank);
+      if (dead_it != dead_at.end() && dead_it->second < t) {
+        t = std::numeric_limits<Seconds>::infinity();
+      }
       if (t <= deadline) {
         late_ok.push_back(rank);
       } else {
@@ -287,6 +340,9 @@ RelayRunResult RelayCollectiveRunner::run_allreduce(const Strategy& strategy, By
     for (const int rank : result.faulty) result.final_values.erase(rank);
   }
 
+  // Faulty ranks (fault detector or watchdog recovery) hold no usable final
+  // tensor, in partial and non-partial mode alike.
+  for (const int rank : result.faulty) result.final_values.erase(rank);
   result.final_mask = mask;
   result.comm_time = result.phase2_finish - decision.trigger_time;
   result.total_time = result.phase2_finish - fastest;

@@ -39,6 +39,13 @@ struct RelayRunResult {
   /// Contributors reflected in final_values.
   collective::ContributorMask final_mask = 0;
   RelayDecision decision;
+  /// Phase-1 executions this iteration took (> 1 after watchdog recovery).
+  int phase1_attempts = 1;
+  /// Set when phase 1 could not complete within
+  /// CoordinatorConfig::max_recovery_attempts (e.g. a blackout outlasting
+  /// every retry); final_values are then unusable for this iteration.
+  collective::CollectiveError error;
+  bool ok() const noexcept { return !error; }
 };
 
 class RelayCollectiveRunner {
@@ -53,9 +60,14 @@ class RelayCollectiveRunner {
   /// communication was chosen).
   /// `fill_start` optionally gives per-rank backward-pass start times for
   /// incremental buffer filling (see CollectiveOptions::fill_start).
+  /// `dead_at` (chaos harness) marks ranks that crash at the given absolute
+  /// time (see CollectiveOptions::dead_at); with a watchdog configured,
+  /// mid-collective crashes abort phase 1, the suspects are folded into
+  /// `faulty`, and phase 1 re-executes for the survivors.
   RelayRunResult run_allreduce(const collective::Strategy& strategy, Bytes tensor_bytes,
                                const std::map<int, Seconds>& ready_at,
-                               const std::map<int, Seconds>& fill_start = {});
+                               const std::map<int, Seconds>& fill_start = {},
+                               const std::map<int, Seconds>& dead_at = {});
 
   const Coordinator& coordinator() const noexcept { return coordinator_; }
 

@@ -1,8 +1,11 @@
 #include "relay/rpc.h"
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "sim/flow_link.h"
+#include "telemetry/telemetry.h"
 
 namespace adapcc::relay {
 
@@ -59,6 +62,79 @@ Seconds measure_rpc_latency(topology::Cluster& cluster, int rank, int coordinato
                                 microseconds(20));
   }
   return (sim.now() - start) + host;
+}
+
+RpcExchangeResult rpc_with_retry(topology::Cluster& cluster, int rank, int coordinator_rank,
+                                 util::Rng& rng, const RpcRetryConfig& config,
+                                 RpcMessageFilter* filter) {
+  sim::Simulator& sim = cluster.simulator();
+  RpcExchangeResult result;
+  const Seconds start = sim.now();
+  auto* t = telemetry::get();
+  for (int attempt = 1; attempt <= config.max_attempts; ++attempt) {
+    result.attempts = attempt;
+    // The round's state is shared with the in-flight message callbacks: a
+    // straggler (request or response) that lands after the sender already
+    // timed out must not touch a dead stack frame.
+    struct Round {
+      bool ok = false;
+      int drops = 0;
+    };
+    auto round = std::make_shared<Round>();
+    const Bytes message_bytes = config.rpc.message_bytes;
+    if (filter != nullptr && filter->should_drop(rank, coordinator_rank, sim.now())) {
+      ++round->drops;  // request lost before reaching the coordinator
+    } else {
+      send_control(cluster, rank, coordinator_rank, message_bytes,
+                   [&cluster, &sim, rank, coordinator_rank, message_bytes, filter, round] {
+                     if (filter != nullptr &&
+                         filter->should_drop(coordinator_rank, rank, sim.now())) {
+                       ++round->drops;  // response lost on the way back
+                       return;
+                     }
+                     send_control(cluster, coordinator_rank, rank, message_bytes,
+                                  [round] { round->ok = true; });
+                   });
+    }
+    // Wait for the response or the retransmission timer, whichever first.
+    bool timed_out = false;
+    const sim::EventId timer =
+        sim.schedule_after(config.ack_timeout, [&timed_out] { timed_out = true; });
+    while (!round->ok && !timed_out && sim.step()) {
+    }
+    sim.cancel(timer);
+    result.drops += round->drops;
+    if (t != nullptr && round->drops > 0) {
+      t->metrics().counter("rpc.messages_dropped").add(static_cast<double>(round->drops));
+    }
+    if (round->ok) {
+      result.ok = true;
+      break;
+    }
+    if (attempt == config.max_attempts) break;
+    // Exponential backoff with jitter, on the simulated clock.
+    double scale = 1.0;
+    for (int k = 1; k < attempt; ++k) scale *= config.backoff_multiplier;
+    const double jitter =
+        rng.uniform(1.0 - config.jitter_fraction, 1.0 + config.jitter_fraction);
+    const Seconds delay = std::max(config.backoff_base * scale * jitter, microseconds(1));
+    bool backed_off = false;
+    sim.schedule_after(delay, [&backed_off] { backed_off = true; });
+    while (!backed_off && sim.step()) {
+    }
+    if (t != nullptr) t->metrics().counter("rpc.retries").add(1.0);
+  }
+  Seconds host = 0.0;
+  if (result.ok) {
+    for (int endpoint = 0; endpoint < 2; ++endpoint) {
+      host += rng.normal_at_least(config.rpc.host_overhead_mean, config.rpc.host_overhead_stddev,
+                                  microseconds(20));
+    }
+  } else if (t != nullptr) {
+    t->metrics().counter("rpc.failures").add(1.0);
+  }
+  result.latency = (sim.now() - start) + host;
+  return result;
 }
 
 }  // namespace adapcc::relay

@@ -25,4 +25,41 @@ struct RpcConfig {
 Seconds measure_rpc_latency(topology::Cluster& cluster, int rank, int coordinator_rank,
                             util::Rng& rng, const RpcConfig& config = {});
 
+/// Chaos hook: decides whether a control message from->to handed to the
+/// network at `now` is lost in flight. Implemented by the fault injector;
+/// the default (no filter) drops nothing.
+class RpcMessageFilter {
+ public:
+  virtual ~RpcMessageFilter() = default;
+  virtual bool should_drop(int from_rank, int to_rank, Seconds now) = 0;
+};
+
+struct RpcRetryConfig {
+  RpcConfig rpc;
+  int max_attempts = 5;
+  /// Sender-side retransmission timer: an exchange whose response has not
+  /// arrived this long after the request was sent counts as lost.
+  Seconds ack_timeout = milliseconds(5);
+  /// Exponential backoff between attempts: base * multiplier^k, scaled by
+  /// uniform(1 - jitter, 1 + jitter) so synchronized retry storms decohere.
+  /// All waiting happens on the simulated clock.
+  Seconds backoff_base = milliseconds(1);
+  double backoff_multiplier = 2.0;
+  double jitter_fraction = 0.25;
+};
+
+struct RpcExchangeResult {
+  bool ok = false;
+  int attempts = 0;   ///< rounds tried (1 = first try succeeded)
+  int drops = 0;      ///< messages the filter ate across all rounds
+  Seconds latency = 0.0;  ///< total simulated time spent incl. timeouts/backoff
+};
+
+/// Round-trip request/response exchange with retransmission: retries dropped
+/// messages with exponential backoff + jitter until `max_attempts` rounds
+/// are exhausted. Advances simulated time (timeouts and backoff included).
+RpcExchangeResult rpc_with_retry(topology::Cluster& cluster, int rank, int coordinator_rank,
+                                 util::Rng& rng, const RpcRetryConfig& config = {},
+                                 RpcMessageFilter* filter = nullptr);
+
 }  // namespace adapcc::relay

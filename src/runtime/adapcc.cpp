@@ -1,7 +1,10 @@
 #include "runtime/adapcc.h"
 
+#include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
+#include "synthesizer/cost_model.h"
 #include "telemetry/export.h"
 #include "util/logging.h"
 
@@ -184,10 +187,11 @@ CollectiveResult Adapcc::alltoall(Bytes tensor_bytes, CollectiveOptions options)
 
 relay::RelayRunResult Adapcc::allreduce_adaptive(Bytes tensor_bytes,
                                                  const std::map<int, Seconds>& ready_at,
-                                                 const std::map<int, Seconds>& fill_start) {
+                                                 const std::map<int, Seconds>& fill_start,
+                                                 const std::map<int, Seconds>& dead_at) {
   if (!set_up_) setup();
   const Strategy& strategy = strategy_for(Primitive::kAllReduce, tensor_bytes);
-  return relay_runner_->run_allreduce(strategy, tensor_bytes, ready_at, fill_start);
+  return relay_runner_->run_allreduce(strategy, tensor_bytes, ready_at, fill_start, dead_at);
 }
 
 relay::RelayRunResult Adapcc::allreduce_adaptive(Bytes tensor_bytes,
@@ -196,6 +200,87 @@ relay::RelayRunResult Adapcc::allreduce_adaptive(Bytes tensor_bytes,
   std::map<int, Seconds> fill_start;
   inbox.fold_reports(ready_at, fill_start);
   return allreduce_adaptive(tensor_bytes, ready_at, fill_start);
+}
+
+ResilienceReport Adapcc::run_resilient(Primitive primitive, Bytes tensor_bytes,
+                                       ResilienceOptions options) {
+  if (!set_up_) setup();
+  sim::Simulator& sim = cluster_.simulator();
+  ResilienceReport report;
+  Seconds first_failure = -1.0;
+  Seconds backoff = options.retry_backoff;
+  while (report.attempts < options.max_attempts) {
+    ++report.attempts;
+    // strategy_for resynthesizes after an exclusion: exclude_workers cleared
+    // the installed strategies and bumped the topology epoch, so the cache
+    // cannot serve a graph containing the dead ranks.
+    const Strategy& strategy = strategy_for(primitive, tensor_bytes);
+    CollectiveOptions run_options = options.collective;
+    // Restrict the active set to the survivors.
+    if (run_options.active_ranks.empty()) {
+      run_options.active_ranks.insert(participants_.begin(), participants_.end());
+    } else {
+      std::erase_if(run_options.active_ranks, [this](int rank) {
+        return std::find(participants_.begin(), participants_.end(), rank) ==
+               participants_.end();
+      });
+    }
+    run_options.watchdog_timeout =
+        options.watchdog_timeout > 0.0
+            ? options.watchdog_timeout
+            : std::max(options.watchdog_multiplier * synthesizer::estimate_completion_time(
+                                                         strategy, topo_, tensor_bytes, {}),
+                       options.watchdog_floor);
+    Executor executor(cluster_, strategy);
+    report.result = executor.run(tensor_bytes, std::move(run_options));
+    if (report.result.ok()) {
+      report.ok = true;
+      if (first_failure >= 0.0) {
+        report.recovery_latency = sim.now() - first_failure;
+        if (auto* t = telemetry::get()) {
+          t->metrics().counter("runtime.recoveries").add(1.0);
+          t->metrics().histogram("runtime.recovery_seconds").observe(report.recovery_latency);
+          t->trace().instant(t->trace().track("runtime"), "recovery-complete", sim.now(),
+                             telemetry::kv("latency", report.recovery_latency) + "," +
+                                 telemetry::kv("attempts", report.attempts));
+        }
+        ADAPCC_LOG(kInfo, "adapcc") << "recovered after " << report.attempts << " attempts ("
+                                    << report.recovery_latency << "s, excluded "
+                                    << report.excluded.size() << " ranks)";
+      }
+      return report;
+    }
+    if (first_failure < 0.0) first_failure = report.result.error.at;
+    if (auto* t = telemetry::get()) t->metrics().counter("runtime.watchdog_aborts").add(1.0);
+    const std::set<int> suspects = report.result.error.suspects;
+    if (!suspects.empty()) {
+      try {
+        exclude_workers(suspects);
+      } catch (const std::invalid_argument&) {
+        // Mass failure: fewer than 2 survivors — a terminal state, not an
+        // exception for the caller to chase.
+        report.halted = true;
+        std::ostringstream reason;
+        reason << "insufficient workers: excluding " << suspects.size()
+               << " crash suspects leaves < 2 of " << participants_.size();
+        report.halt_reason = reason.str();
+        ADAPCC_LOG(kWarn, "adapcc") << "resilient collective halted: " << report.halt_reason;
+        return report;
+      }
+      report.excluded.insert(suspects.begin(), suspects.end());
+    } else if (report.attempts < options.max_attempts) {
+      // No rank-level culprit (link blackout / degradation): give the
+      // network time to heal before re-executing.
+      sim.run_until(sim.now() + backoff);
+      backoff *= 2.0;
+    }
+  }
+  std::ostringstream reason;
+  reason << "collective still failing after " << report.attempts << " attempts: "
+         << report.result.error.detail;
+  report.halt_reason = reason.str();
+  ADAPCC_LOG(kWarn, "adapcc") << "resilient collective gave up: " << report.halt_reason;
+  return report;
 }
 
 ReconstructionReport Adapcc::reprofile(Bytes tensor_bytes) {

@@ -54,6 +54,41 @@ struct ReconstructionReport {
   }
 };
 
+/// Options of Adapcc::run_resilient (Sec. IV-C-2: fault recovery without
+/// restarting the job).
+struct ResilienceOptions {
+  /// Base options for each attempt (ready/fill/dead times, active set). The
+  /// active set is re-restricted to the surviving participants per attempt.
+  collective::CollectiveOptions collective;
+  /// Per-attempt watchdog; 0 = auto: watchdog_multiplier x the synthesizer's
+  /// completion estimate for the current strategy, floored at watchdog_floor.
+  Seconds watchdog_timeout = 0.0;
+  double watchdog_multiplier = 8.0;
+  Seconds watchdog_floor = milliseconds(50);
+  /// Total executions (first try + retries) before giving up.
+  int max_attempts = 4;
+  /// Wait before retrying a stall with no rank-level suspects (a link
+  /// blackout may heal); doubles per retry, on the simulated clock.
+  Seconds retry_backoff = milliseconds(20);
+};
+
+/// Outcome of a resilient collective: the (last) executor result plus the
+/// recovery trail.
+struct ResilienceReport {
+  collective::CollectiveResult result;
+  bool ok = false;
+  /// Terminal failure: survivors fell below the 2-rank floor. The training
+  /// job cannot continue (distinct from a retryable/unrecovered stall).
+  bool halted = false;
+  std::string halt_reason;
+  int attempts = 0;
+  /// Ranks this call excluded from the participant set (crash suspects).
+  std::set<int> excluded;
+  /// First abort -> successful completion; 0 when the first attempt
+  /// succeeded (Fig. 19c: recovery without checkpoint/restart).
+  Seconds recovery_latency = 0.0;
+};
+
 /// Runtime telemetry wiring (observability, disabled by default): where to
 /// export the trace / metrics when the runtime shuts down.
 struct TelemetryOptions {
@@ -110,15 +145,28 @@ class Adapcc {
   /// AllReduce under the relay coordinator (Sec. IV-C): decides wait vs
   /// phase-1/phase-2 from the per-rank ready times. `fill_start` optionally
   /// models incremental gradient production during the backward pass.
+  /// `dead_at` (chaos harness) marks mid-collective crashes — see
+  /// RelayCollectiveRunner::run_allreduce.
   relay::RelayRunResult allreduce_adaptive(Bytes tensor_bytes,
                                            const std::map<int, Seconds>& ready_at,
-                                           const std::map<int, Seconds>& fill_start = {});
+                                           const std::map<int, Seconds>& fill_start = {},
+                                           const std::map<int, Seconds>& dead_at = {});
 
   /// Same, but with the per-rank ready / fill-start reports delivered
   /// through the coordinator's thread-safe control inbox (the path worker
   /// RPC handler threads use): drains the inbox, folds the reports
   /// (latest per rank wins), and runs the adaptive AllReduce.
   relay::RelayRunResult allreduce_adaptive(Bytes tensor_bytes, relay::ControlInbox& inbox);
+
+  /// Recovery orchestrator (Sec. IV-C-2): runs a collective under a
+  /// watchdog and, on a mid-collective failure, excludes the crashed ranks,
+  /// bumps the topology epoch (invalidating every cached strategy),
+  /// resynthesizes for the survivors, and re-executes — without restarting
+  /// the job. Rank-less stalls (link blackouts) are retried with backoff on
+  /// the simulated clock. Never hangs and never throws on mass failure: a
+  /// survivor set below 2 ranks is reported as a halted terminal state.
+  ResilienceReport run_resilient(collective::Primitive primitive, Bytes tensor_bytes,
+                                 ResilienceOptions options = {});
 
   /// Runtime re-profiling + strategy regeneration (adapcc.profile() period
   /// hits). Reconstructs the communication graph in place — no checkpoint,

@@ -9,11 +9,39 @@
 namespace adapcc::sim {
 
 EdgeChannel::EdgeChannel(Simulator& sim, std::vector<FlowLink*> path)
-    : sim_(sim), path_(std::move(path)), link_busy_(path_.size(), false) {
+    : sim_(sim),
+      path_(std::move(path)),
+      link_busy_(path_.size(), false),
+      active_transfer_(path_.size(), 0),
+      alive_(std::make_shared<bool>(true)) {
   if (path_.empty()) throw std::invalid_argument("EdgeChannel: empty path");
   for (const auto* link : path_) {
     if (link == nullptr) throw std::invalid_argument("EdgeChannel: null link in path");
   }
+}
+
+EdgeChannel::~EdgeChannel() {
+  // Disarm any propagation-tail events still scheduled against this channel
+  // (delivery callbacks fire alpha after the service phase ends and may
+  // outlive the channel on the abort path).
+  *alive_ = false;
+}
+
+void EdgeChannel::abort() {
+  if (aborted_) return;
+  aborted_ = true;
+  *alive_ = false;
+  for (std::size_t i = 0; i < path_.size(); ++i) {
+    if (active_transfer_[i] != 0) {
+      path_[i]->cancel_transfer(active_transfer_[i]);
+      active_transfer_[i] = 0;
+    }
+    link_busy_[i] = false;
+  }
+  // Dropping the queue destroys the undelivered chunks' callbacks (and
+  // whatever resources they own) without firing them.
+  chunks_.clear();
+  in_flight_ = 0;
 }
 
 Seconds EdgeChannel::path_alpha() const noexcept {
@@ -35,6 +63,7 @@ BytesPerSecond EdgeChannel::path_bandwidth() const noexcept {
 }
 
 void EdgeChannel::send(Bytes bytes, DeliveryCallback on_delivered) {
+  if (aborted_) throw std::logic_error("EdgeChannel: send after abort");
   if (auto* t = telemetry::get()) {
     // Queueing pressure: how many chunks of this channel are already waiting
     // or in flight when a new one is enqueued (pipeline depth).
@@ -55,16 +84,30 @@ void EdgeChannel::try_start(std::size_t link_index) {
       chunk.on_link = true;
       link_busy_[link_index] = true;
       const std::uint64_t id = chunk.id;
-      path_[link_index]->start_transfer(
+      // Both callbacks carry the liveness guard: after an abort (or channel
+      // destruction) a propagation-tail event already in the simulator fires
+      // harmlessly instead of dereferencing freed channel state.
+      const std::uint64_t transfer_id = path_[link_index]->start_transfer(
           chunk.bytes,
-          /*on_delivered=*/[this, link_index, id] { on_link_done(link_index, id); },
+          /*on_delivered=*/
+          [guard = alive_, this, link_index, id] {
+            if (!*guard) return;
+            on_link_done(link_index, id);
+          },
           /*on_served=*/
-          [this, link_index] {
+          [guard = alive_, this, link_index] {
+            if (!*guard) return;
             // Capacity released: the next chunk can enter this link while
             // the current one is still propagating (latency hiding).
+            active_transfer_[link_index] = 0;
             link_busy_[link_index] = false;
             try_start(link_index);
           });
+      // Chunks have non-zero size, so service always completes via a future
+      // event: on_served cannot have fired synchronously above and this
+      // assignment cannot clobber a successor chunk's id. Zero-byte sends
+      // (id 0) are left unrecorded either way.
+      if (transfer_id != 0) active_transfer_[link_index] = transfer_id;
       return;
     }
   }

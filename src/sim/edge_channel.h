@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/flow_link.h"
@@ -39,6 +40,7 @@ class EdgeChannel {
   EdgeChannel(Simulator& sim, std::vector<FlowLink*> path);
   EdgeChannel(const EdgeChannel&) = delete;
   EdgeChannel& operator=(const EdgeChannel&) = delete;
+  ~EdgeChannel();
 
   /// Enqueues one chunk; `on_delivered` fires when it exits the last link.
   /// Chunks are delivered in the order they were sent.
@@ -46,6 +48,14 @@ class EdgeChannel {
 
   std::size_t chunks_in_flight() const noexcept { return in_flight_; }
   Bytes bytes_sent() const noexcept { return bytes_sent_; }
+
+  /// Abort path (chaos/watchdog recovery): cancels the in-service transfer
+  /// on every link of the path, drops all queued/in-flight chunks without
+  /// delivering them, and disarms any link callbacks still scheduled in the
+  /// simulator (they become no-ops via the shared liveness guard). After
+  /// abort() the channel accepts no further sends. Idempotent.
+  void abort();
+  bool aborted() const noexcept { return aborted_; }
 
   /// Sum of per-link alphas (the latency a lone chunk pays end to end).
   Seconds path_alpha() const noexcept;
@@ -73,6 +83,14 @@ class EdgeChannel {
   std::deque<Chunk> chunks_;
   /// Per link: is a chunk of this channel currently on it?
   std::vector<bool> link_busy_;
+  /// Per link: FlowLink transfer id of the chunk currently in service (0
+  /// when idle) — what abort() hands to FlowLink::cancel_transfer.
+  std::vector<std::uint64_t> active_transfer_;
+  /// Shared liveness flag captured by every callback handed to the links.
+  /// Service/propagation events that outlive an abort (or the channel
+  /// itself) check it and fall through instead of touching freed state.
+  std::shared_ptr<bool> alive_;
+  bool aborted_ = false;
   std::size_t in_flight_ = 0;
   std::uint64_t next_chunk_id_ = 1;
   Bytes bytes_sent_ = 0;

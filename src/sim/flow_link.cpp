@@ -87,12 +87,12 @@ void FlowLink::release_slot(std::uint32_t slot) noexcept {
   free_head_ = slot;
 }
 
-void FlowLink::start_transfer(Bytes bytes, CompletionCallback on_delivered,
-                              CompletionCallback on_served) {
+std::uint64_t FlowLink::start_transfer(Bytes bytes, CompletionCallback on_delivered,
+                                       CompletionCallback on_served) {
   if (bytes == 0) {
     if (on_served) on_served();
     if (on_delivered) sim_.schedule_after(alpha_, std::move(on_delivered));
-    return;
+    return 0;
   }
   advance_progress();
   const std::uint32_t slot = acquire_slot();
@@ -101,8 +101,8 @@ void FlowLink::start_transfer(Bytes bytes, CompletionCallback on_delivered,
   data.on_delivered = std::move(on_delivered);
   data.on_served = std::move(on_served);
   if constexpr (audit::kEnabled) data.audit_enqueue_service = service_;
-  transfers_.push_back(
-      TransferKey{service_ + static_cast<double>(bytes), next_transfer_sequence_++, slot});
+  const std::uint64_t transfer_id = next_transfer_sequence_++;
+  transfers_.push_back(TransferKey{service_ + static_cast<double>(bytes), transfer_id, slot});
   if (telemetry_ready()) {
     auto& trace = telemetry::get()->trace();
     data.span = trace.begin_span(tel_track_, "xfer", sim_.now(),
@@ -121,6 +121,33 @@ void FlowLink::start_transfer(Bytes bytes, CompletionCallback on_delivered,
     reschedule_completion();
   }
   if constexpr (audit::kEnabled) audit_verify();
+  return transfer_id;
+}
+
+bool FlowLink::cancel_transfer(std::uint64_t transfer_id) {
+  if (transfer_id == 0) return false;
+  advance_progress();
+  const auto it =
+      std::find_if(transfers_.begin(), transfers_.end(),
+                   [transfer_id](const TransferKey& key) { return key.sequence == transfer_id; });
+  if (it == transfers_.end()) return false;
+  const std::uint32_t slot = it->slot;
+  if (telemetry_ready()) {
+    auto& trace = telemetry::get()->trace();
+    trace.end_span(slab(slot).span, sim_.now());
+    trace.counter(tel_track_, "in_flight", sim_.now(),
+                  static_cast<double>(transfers_.size() - 1));
+  }
+  // The cancelled bytes are abandoned, not delivered: the slot goes straight
+  // back to the free list and neither callback fires. A linear erase +
+  // re-heapify is fine — cancellation only runs from the recovery path,
+  // never from steady-state pipelining.
+  transfers_.erase(it);
+  std::make_heap(transfers_.begin(), transfers_.end(), TargetLater{});
+  release_slot(slot);
+  reschedule_completion();
+  if constexpr (audit::kEnabled) audit_verify();
+  return true;
 }
 
 void FlowLink::set_capacity(BytesPerSecond capacity) {

@@ -59,8 +59,19 @@ class FlowLink {
   /// propagation is what lets chunk pipelines hide the latency, as the real
   /// Communicator hides kernel-launch and staging latency (Sec. V-B).
   /// Zero-byte transfers deliver after just the latency.
-  void start_transfer(Bytes bytes, CompletionCallback on_delivered,
-                      CompletionCallback on_served = nullptr);
+  /// Returns a transfer id usable with cancel_transfer(), or 0 for zero-byte
+  /// transfers (which never enter the in-flight set and cannot be cancelled).
+  std::uint64_t start_transfer(Bytes bytes, CompletionCallback on_delivered,
+                               CompletionCallback on_served = nullptr);
+
+  /// Abort path (chaos/watchdog recovery): removes an in-flight transfer.
+  /// Neither callback fires; the capacity share is released immediately.
+  /// Returns false when the id is unknown or the transfer already left the
+  /// service phase (a served transfer is past the point of cancellation —
+  /// its delivery event belongs to the receiver). Removing one transfer
+  /// never changes the others' fixed finish targets, only the rate at which
+  /// the service counter advances toward them.
+  bool cancel_transfer(std::uint64_t transfer_id);
 
   /// Changes the link capacity immediately (volatile-network experiments).
   /// In-flight transfers keep their progress and continue at the new rate.
@@ -153,7 +164,9 @@ class FlowLink {
   /// event loop and callbacks fire after the list is fully built).
   std::vector<std::pair<std::uint64_t, std::uint32_t>> done_scratch_;
   double service_ = 0.0;  ///< cumulative per-transfer service, bytes
-  std::uint64_t next_transfer_sequence_ = 0;
+  /// Starts at 1: sequence doubles as the public transfer id and 0 means
+  /// "no transfer" (zero-byte sends).
+  std::uint64_t next_transfer_sequence_ = 1;
   Seconds last_update_ = 0.0;
   EventId completion_event_{};
   Bytes bytes_delivered_ = 0;

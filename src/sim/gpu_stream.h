@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <vector>
 
 #include "sim/simulator.h"
 #include "util/units.h"
@@ -25,7 +26,17 @@ class GpuStream {
     const Seconds start = std::max(sim_.now(), busy_until_);
     busy_until_ = start + duration;
     total_busy_ += duration;
-    if (on_complete) sim_.schedule_at(busy_until_, std::move(on_complete));
+    if (on_complete) pending_.push_back(sim_.schedule_at(busy_until_, std::move(on_complete)));
+  }
+
+  /// Abort path (chaos/watchdog recovery): cancels every retirement event
+  /// that has not fired yet (cancelling already-fired ids is a safe no-op —
+  /// generation tags) and drains the stream. Enqueued-but-unretired work is
+  /// abandoned; its completion callbacks never run.
+  void cancel_pending() {
+    for (const EventId& id : pending_) sim_.cancel(id);
+    pending_.clear();
+    busy_until_ = sim_.now();
   }
 
   /// Time at which the stream drains, given no further enqueues.
@@ -38,6 +49,10 @@ class GpuStream {
   Simulator& sim_;
   Seconds busy_until_ = 0.0;
   Seconds total_busy_ = 0.0;
+  /// Retirement events issued so far; fired ids go stale harmlessly (one
+  /// 8-byte handle per kernel, bounded by the owner's lifetime — streams are
+  /// per-invocation in the executor).
+  std::vector<EventId> pending_;
 };
 
 }  // namespace adapcc::sim

@@ -37,6 +37,26 @@ void trace_iteration(int iteration, Seconds t0, Seconds end, const IterationStat
   t->metrics().snapshot("iter " + std::to_string(iteration), end);
 }
 
+/// Keeps the loader's shard assignment in lockstep with the runtime's
+/// participant set: workers re-admitted through Adapcc::include_workers get
+/// shards back (DataLoader::readmit) and workers excluded outside the
+/// trainer's own fault path release theirs — the global batch size is
+/// preserved either way.
+void reconcile_loader(relay::DataLoader& loader, const std::vector<int>& participants) {
+  const std::set<int> current(participants.begin(), participants.end());
+  const std::set<int> tracked(loader.workers().begin(), loader.workers().end());
+  std::set<int> removed;
+  std::set<int> added;
+  for (const int worker : tracked) {
+    if (current.count(worker) == 0) removed.insert(worker);
+  }
+  for (const int worker : current) {
+    if (tracked.count(worker) == 0) added.insert(worker);
+  }
+  if (!added.empty()) loader.readmit(added);
+  if (!removed.empty()) loader.redistribute(removed);
+}
+
 }  // namespace
 
 double TrainingStats::mean_comm_time() const {
@@ -101,6 +121,7 @@ TrainingStats Trainer::train_with_adapcc(runtime::Adapcc& adapcc) {
     IterationStats iter;
     const Seconds t0 = sim.now();
     const auto participants = adapcc.participants();
+    reconcile_loader(loader, participants);
     const auto ready_at =
         sample_ready_times(participants, loader, t0, &iter.compute_min, &iter.compute_max);
 
@@ -123,7 +144,10 @@ TrainingStats Trainer::train_with_adapcc(runtime::Adapcc& adapcc) {
       for (const auto& [rank, ready] : ready_at) {
         fill_start[rank] = t0 + 0.5 * (ready - t0);
       }
-      const auto result = adapcc.allreduce_adaptive(spec.tensor_bytes, ready_at, fill_start);
+      std::map<int, Seconds> dead_at;
+      if (config_.crash_schedule) dead_at = config_.crash_schedule(iteration, t0);
+      const auto result =
+          adapcc.allreduce_adaptive(spec.tensor_bytes, ready_at, fill_start, dead_at);
       iter.wait_time = result.wait_time;
       iter.comm_time = result.comm_time;
       iter.total_comm = result.total_time;
@@ -132,7 +156,27 @@ TrainingStats Trainer::train_with_adapcc(runtime::Adapcc& adapcc) {
       iter.faulty = result.faulty;
       for (const int relay : result.relays) ++stats.relay_count[relay];
       if (!result.faulty.empty()) {
-        adapcc.exclude_workers(result.faulty);
+        // A mass failure can leave fewer than 2 survivors, which
+        // exclude_workers rejects; that is a terminal condition for the
+        // training run, not a programming error, so it must not escape the
+        // loop as an exception.
+        try {
+          adapcc.exclude_workers(result.faulty);
+        } catch (const std::invalid_argument&) {
+          stats.halted = true;
+          stats.halted_at_iteration = iteration;
+          stats.halt_reason = "training halted: insufficient workers (" +
+                              std::to_string(result.faulty.size()) + " faulty of " +
+                              std::to_string(participants.size()) + ")";
+          ADAPCC_LOG(kError, "trainer") << stats.halt_reason;
+          if (auto* t = telemetry::get()) {
+            t->metrics().counter("trainer.halts").add(1.0);
+            t->trace().instant(t->trace().track("trainer"), "training-halted", sim.now());
+          }
+          iter.iteration_time = sim.now() - t0;
+          stats.iterations.push_back(std::move(iter));
+          break;
+        }
         loader.redistribute(result.faulty);
         ADAPCC_LOG(kWarn, "trainer") << result.faulty.size()
                                      << " faulty worker(s) excluded at iteration " << iteration;

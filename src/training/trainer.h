@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "baselines/backend.h"
@@ -36,6 +37,12 @@ struct TrainingStats {
   std::vector<IterationStats> iterations;
   Seconds makespan = 0.0;
   std::map<int, int> relay_count;  ///< times each rank served as a relay
+  /// Terminal halt: a mass failure left fewer than 2 survivors, so the run
+  /// stopped gracefully instead of throwing out of the training loop. The
+  /// iterations recorded so far stay valid.
+  bool halted = false;
+  std::string halt_reason;
+  int halted_at_iteration = -1;
 
   double mean_comm_time() const;
   double mean_iteration_time() const;
@@ -54,6 +61,10 @@ struct TrainerConfig {
   int profile_period = 0;
   /// Hook invoked before each iteration (interference injection, shaping).
   std::function<void(int iteration)> on_iteration;
+  /// Chaos hook: absolute crash times per rank for this iteration's
+  /// AllReduce (see collective::CollectiveOptions::dead_at), given the
+  /// iteration index and its start time. Null = no crashes.
+  std::function<std::map<int, Seconds>(int iteration, Seconds t0)> crash_schedule;
 };
 
 class Trainer {

@@ -513,6 +513,7 @@ TEST_P(FlowLinkSharingProperty, MatchesBruteForceFluidReference) {
     });
   }
   for (const auto& [when, cap] : capacity_changes) {
+    // Property test drives a raw FlowLink against the fluid model. lint:chaos
     sim.schedule_at(when, [&link, cap = cap] { link.set_capacity(cap); });
   }
   sim.run();

@@ -232,6 +232,7 @@ TEST(FlowLinkTest, CapacityChangeMidTransferRescalesRate) {
   FlowLink link(sim, "l", 0.0, gBps(1));
   Seconds done = -1;
   link.start_transfer(megabytes(100), [&] { done = sim.now(); });
+  // Raw FlowLink under test, no cluster shaper exists here. lint:chaos
   sim.schedule_at(0.05, [&] { link.set_capacity(gBps(0.5)); });
   sim.run();
   // 50 MB at 1 GB/s, then 50 MB at 0.5 GB/s -> 0.05 + 0.1 = 0.15 s.
@@ -276,8 +277,9 @@ TEST(FlowLinkTest, StalledLinkResumesOnCapacityRestore) {
   FlowLink link(sim, "l", 0.0, gBps(1));
   Seconds done = -1;
   link.start_transfer(megabytes(100), [&] { done = sim.now(); });
+  // Raw FlowLink under test, no cluster shaper exists here. lint:chaos
   sim.schedule_at(0.05, [&] { link.set_capacity(1e-6); });  // outage
-  sim.schedule_at(1.0, [&] { link.set_capacity(gBps(1)); });
+  sim.schedule_at(1.0, [&] { link.set_capacity(gBps(1)); });  // lint:chaos
   sim.run();
   // 50 MB before the outage, stalled until t=1, then 50 MB more.
   EXPECT_NEAR(done, 1.05, 1e-6);
@@ -307,10 +309,10 @@ TEST(FlowLinkTest, DueTransferCompletesDespiteClampWindowPokes) {
   link.start_transfer(1000, [&] { done_at = sim.now(); });
   // Just before the crossing: remaining is 0.25 bytes, exact ETA 0.25 ns,
   // so the completion event is clamped to fire 1 ns out.
-  sim.schedule_at(1e-6 - 0.25e-9, [&] { link.set_capacity(gBps(1)); });
+  sim.schedule_at(1e-6 - 0.25e-9, [&] { link.set_capacity(gBps(1)); });  // lint:chaos
   // Inside the clamp window, past the crossing: the counter is now beyond
   // the target. The poke must finish the transfer here, not postpone it.
-  sim.schedule_at(1e-6 + 0.5e-9, [&] { link.set_capacity(gBps(1)); });
+  sim.schedule_at(1e-6 + 0.5e-9, [&] { link.set_capacity(gBps(1)); });  // lint:chaos
   sim.run();
   EXPECT_GE(done_at, 1e-6);
   EXPECT_LE(done_at, 1e-6 + 1e-9);

@@ -32,6 +32,14 @@ here defend that promise at the source level:
                       aliases from util/units.h, not raw `double` / integer
                       types. The alias *is* the unit annotation; a raw
                       `double timeout` has silently been microseconds before.
+  chaos               No naked `set_capacity(...)` calls outside the link
+                      layer itself (src/sim), the sanctioned shaper
+                      (Cluster::set_nic_capacity_fraction) and the chaos
+                      injector (src/chaos). Every capacity change elsewhere
+                      must flow through those paths so it is telemetered,
+                      validated and replayable by a fault schedule. Tests
+                      that drive a raw FlowLink directly carry a
+                      `// lint:chaos` waiver.
 
 Usage:  python3 tools/adapcc_lint.py [--root DIR] [--list-rules]
 Exit status is non-zero when any finding is reported. A finding on line N can
@@ -76,6 +84,11 @@ RANDOM_TOKENS = [
 ]
 
 HOT_PATH_TAG = "adapcc-lint: hot-path"
+
+# chaos rule: where capacity may legitimately change, and what to look for.
+CHAOS_RULE_DIRS = ("src", "tests", "bench", "examples")
+CHAOS_ALLOWED_PREFIXES = ("src/sim/", "src/chaos/", "src/topology/cluster")
+SET_CAPACITY_RE = re.compile(r"(?:\.|->)set_capacity\s*\(")
 
 # Parameter-name patterns that imply a unit, and the alias they require.
 UNITS_RULES = [
@@ -223,6 +236,25 @@ def check_units(path: Path, lines: list[str]) -> list[Finding]:
     return findings
 
 
+def check_chaos(path: Path, lines: list[str], root: Path) -> list[Finding]:
+    rel = path.relative_to(root).as_posix()
+    if rel.startswith(CHAOS_ALLOWED_PREFIXES):
+        return []
+    findings = []
+    for i, raw in enumerate(lines, start=1):
+        prev = lines[i - 2] if i >= 2 else ""
+        if waived(raw, "chaos", prev):
+            continue
+        if SET_CAPACITY_RE.search(strip_comment(raw)):
+            findings.append(Finding(
+                "chaos", path, i,
+                "naked set_capacity() outside the shaper/injector: go through "
+                "Cluster::set_nic_capacity_fraction or chaos::FaultInjector so the change "
+                "is telemetered and replayable (`// lint:chaos` to waive in link-level "
+                "tests)"))
+    return findings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -232,7 +264,8 @@ def main() -> int:
     root = args.root.resolve()
 
     if args.list_rules:
-        print("wall-clock unseeded-random unordered-iteration hot-path-function units-suffix")
+        print("wall-clock unseeded-random unordered-iteration hot-path-function units-suffix "
+              "chaos")
         return 0
 
     findings: list[Finding] = []
@@ -251,6 +284,10 @@ def main() -> int:
         lines = path.read_text().splitlines()
         findings += check_hot_path(path, lines)
         findings += check_units(path, lines)
+
+    for path in iter_sources(root, CHAOS_RULE_DIRS):
+        lines = path.read_text().splitlines()
+        findings += check_chaos(path, lines, root)
 
     for finding in sorted(findings, key=lambda f: (str(f.path), f.line)):
         print(finding.render(root))
