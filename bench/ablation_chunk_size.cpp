@@ -5,58 +5,92 @@
 // latency (Sec. IV-D). This harness sweeps chunk sizes on a fixed AllReduce
 // graph, reporting the measured time and the cost model's estimate side by
 // side — validating both the chunk optimizer and the model it relies on.
+//
+// Usage: ablation_chunk_size [--jobs N]
+//   --jobs  run rows on N host threads. Every row owns a fresh world (same
+//           deterministic profile), so rows are independent; results are
+//           printed in row order and identical at any job count.
+#include <cstdlib>
+#include <cstring>
+
 #include "bench/bench_common.h"
 #include "profiler/profiler.h"
 #include "synthesizer/cost_model.h"
 #include "synthesizer/synthesizer.h"
 #include "topology/detector.h"
 #include "util/rng.h"
+#include "util/task_pool.h"
 
 namespace adapcc::bench {
 namespace {
 
-int run() {
+struct Row {
+  double measured_ms = 0.0;
+  double model_ms = 0.0;
+  Bytes chosen_chunk = 0;  ///< the chunk the synthesizer picked (row-invariant)
+};
+
+int run(int jobs) {
   print_header("Ablation", "chunk size: 256 MB AllReduce on the heterogeneous testbed");
-  World world(topology::heter_testbed());
-  topology::Detector detector(*world.cluster, util::Rng(5));
-  auto topo = topology::Detector::build_logical_topology(*world.cluster, detector.detect());
-  profiler::Profiler profiler(*world.cluster);
-  profiler.profile(topo);
-
-  const auto ranks = world.all_ranks();
   const Bytes tensor = megabytes(256);
+  const std::vector<Bytes> chunks = {Bytes(128_KiB), Bytes(512_KiB), Bytes(2_MiB),
+                                     Bytes(8_MiB),   Bytes(32_MiB),  megabytes(128)};
 
-  // The graph AdapCC would pick, with the chunk size forced per row.
-  synthesizer::Synthesizer synth(*world.cluster, topo);
-  const auto reference = synth.synthesize(collective::Primitive::kAllReduce, ranks, tensor);
+  // Each row rebuilds the identical deterministic world (same detection and
+  // profile seeds), forces its chunk size onto the synthesized reference
+  // graph, and measures from an idle simulator — independent by
+  // construction, so rows fan out over --jobs.
+  util::TaskPool pool(jobs);
+  const std::vector<Row> rows = pool.map_indexed<Row>(chunks.size(), [&](std::size_t i, int) {
+    World world(topology::heter_testbed());
+    topology::Detector detector(*world.cluster, util::Rng(5));
+    auto topo = topology::Detector::build_logical_topology(*world.cluster, detector.detect());
+    profiler::Profiler profiler(*world.cluster);
+    profiler.profile(topo);
+    const auto ranks = world.all_ranks();
+
+    synthesizer::Synthesizer synth(*world.cluster, topo);
+    auto strategy = synth.synthesize(collective::Primitive::kAllReduce, ranks, tensor);
+    Row row;
+    row.chosen_chunk = strategy.subs[0].chunk_bytes;
+    for (auto& sub : strategy.subs) sub.chunk_bytes = chunks[i];
+    row.model_ms = synthesizer::estimate_completion_time(strategy, topo, tensor, {}) * 1e3;
+    collective::Executor executor(*world.cluster, strategy);
+    row.measured_ms = executor.run(tensor).elapsed() * 1e3;
+    return row;
+  });
 
   std::printf("%12s %14s %14s %10s\n", "chunk", "measured(ms)", "model(ms)", "");
   double best_measured = 1e9;
   Bytes best_chunk = 0;
-  for (const Bytes chunk : {Bytes(128_KiB), Bytes(512_KiB), Bytes(2_MiB), Bytes(8_MiB),
-                            Bytes(32_MiB), megabytes(128)}) {
-    auto strategy = reference;
-    for (auto& sub : strategy.subs) sub.chunk_bytes = chunk;
-    const double model =
-        synthesizer::estimate_completion_time(strategy, topo, tensor, {}) * 1e3;
-    collective::Executor executor(*world.cluster, strategy);
-    const double measured = executor.run(tensor).elapsed() * 1e3;
-    const bool is_chosen = chunk == reference.subs[0].chunk_bytes;
-    if (measured < best_measured) {
-      best_measured = measured;
-      best_chunk = chunk;
+  const Bytes chosen = rows.front().chosen_chunk;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (rows[i].measured_ms < best_measured) {
+      best_measured = rows[i].measured_ms;
+      best_chunk = chunks[i];
     }
-    std::printf("%9lld KiB %14.1f %14.1f %10s\n", static_cast<long long>(chunk / 1024),
-                measured, model, is_chosen ? "<- chosen" : "");
+    std::printf("%9lld KiB %14.1f %14.1f %10s\n", static_cast<long long>(chunks[i] / 1024),
+                rows[i].measured_ms, rows[i].model_ms,
+                chunks[i] == chosen ? "<- chosen" : "");
   }
   std::printf("\nchosen chunk %lld KiB; empirically best %lld KiB (measured %.1f ms). Blink's "
               "fixed 8 MB and whole-tensor transfers pay for the missing pipeline overlap.\n",
-              static_cast<long long>(reference.subs[0].chunk_bytes / 1024),
-              static_cast<long long>(best_chunk / 1024), best_measured);
+              static_cast<long long>(chosen / 1024), static_cast<long long>(best_chunk / 1024),
+              best_measured);
   return 0;
 }
 
 }  // namespace
 }  // namespace adapcc::bench
 
-int main() { return adapcc::bench::run(); }
+int main(int argc, char** argv) {
+  int jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
+    }
+  }
+  return adapcc::bench::run(jobs);
+}

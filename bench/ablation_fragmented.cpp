@@ -7,47 +7,65 @@
 // a fragmented A100 box (only pairs (0,1) and (2,3) wired) and shows how
 // rank-order chains stumble into PCIe hops while wiring-aware chains and
 // AdapCC's profiled ordering keep NVLink segments intact.
+//
+// Usage: ablation_fragmented [--jobs N]
+//   --jobs  run the three backend cells on N host threads. Each cell owns
+//           its own world, so output is identical at any job count.
+#include <cstdlib>
+#include <cstring>
+
 #include "baselines/backend.h"
 #include "bench/bench_common.h"
+#include "util/task_pool.h"
 
 namespace adapcc::bench {
 namespace {
 
 using collective::Primitive;
 
-int run() {
+int run(int jobs) {
   print_header("Ablation", "fragmented NVLink wiring: intra-server AllReduce of 256 MB, 8-GPU box with interleaved NVLink islands");
   const Bytes tensor = megabytes(256);
 
+  // Three self-contained cells (each builds its own fragmented box), fanned
+  // out over --jobs and printed in fixed order afterwards.
+  util::TaskPool pool(jobs);
+  const std::vector<double> ms = pool.map_indexed<double>(3, [&](std::size_t i, int) {
+    World world({topology::interleaved_a100_server("frag")});
+    std::unique_ptr<baselines::Backend> backend;
+    switch (i) {
+      case 0: backend = std::make_unique<baselines::NcclBackend>(*world.cluster); break;
+      case 1: backend = std::make_unique<baselines::BlinkBackend>(*world.cluster); break;
+      default: backend = std::make_unique<runtime::AdapccBackend>(*world.cluster); break;
+    }
+    return backend->run(Primitive::kAllReduce, world.all_ranks(), tensor).elapsed() * 1e3;
+  });
+
   std::printf("%-10s %14s   %s\n", "system", "measured(ms)", "intra-server chain behaviour");
-  World nccl_world({topology::interleaved_a100_server("frag")});
-  baselines::NcclBackend nccl(*nccl_world.cluster);
-  const double nccl_ms =
-      nccl.run(Primitive::kAllReduce, nccl_world.all_ranks(), tensor).elapsed() * 1e3;
   std::printf("%-10s %14.1f   rank-order chain 7->6->...->0 crosses PCIe on every hop\n",
-              "nccl", nccl_ms);
-
-  World blink_world({topology::interleaved_a100_server("frag")});
-  baselines::BlinkBackend blink(*blink_world.cluster);
-  const double blink_ms =
-      blink.run(Primitive::kAllReduce, blink_world.all_ranks(), tensor).elapsed() * 1e3;
+              "nccl", ms[0]);
   std::printf("%-10s %14.1f   wiring-aware spanning chain keeps NVLink pairs adjacent\n",
-              "blink", blink_ms);
-
-  World adapcc_world({topology::interleaved_a100_server("frag")});
-  runtime::AdapccBackend adapcc(*adapcc_world.cluster);
-  const double adapcc_ms =
-      adapcc.run(Primitive::kAllReduce, adapcc_world.all_ranks(), tensor).elapsed() * 1e3;
+              "blink", ms[1]);
   std::printf("%-10s %14.1f   profiled chain ordering + optimized chunk size\n", "adapcc",
-              adapcc_ms);
+              ms[2]);
 
   std::printf("\nspeedup over NCCL: blink %.2fx, adapcc %.2fx (paper: Blink motivates exactly "
               "this case; AdapCC subsumes it via profiling)\n",
-              nccl_ms / blink_ms, nccl_ms / adapcc_ms);
+              ms[0] / ms[1], ms[0] / ms[2]);
   return 0;
 }
 
 }  // namespace
 }  // namespace adapcc::bench
 
-int main() { return adapcc::bench::run(); }
+int main(int argc, char** argv) {
+  int jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
+    }
+  }
+  return adapcc::bench::run(jobs);
+}

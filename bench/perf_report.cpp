@@ -1,4 +1,4 @@
-// Machine-readable engine/solver performance report (BENCH_PR2.json).
+// Machine-readable engine/solver performance report (BENCH_PR5.json).
 //
 // Re-runs the hot-path micro-workloads — event scheduling, cancel churn,
 // shared-transfer drain, the synthesizer solve, and the end-to-end Fig. 12
@@ -8,15 +8,23 @@
 // machine before the fast-path rewrite landed; `speedup_vs_baseline` is
 // fresh-number / baseline on the matching metric.
 //
+// This build adds the large-world solver-scaling section: 128- and 256-rank
+// AllReduce solves (a100_fleet topologies) A/B'd at 1/2/4/8 solver threads.
+// Each thread count must produce a bit-identical strategy fingerprint and
+// model cost — the report carries the identity verdict next to the medians,
+// and `host_cores` so single-core machines (where no wall-clock speedup can
+// physically appear) are readable as such.
+//
 // Usage: perf_report [--quick] [--out PATH]
 //   --quick  cut repetitions ~10x (CI smoke run; numbers are noisier)
-//   --out    output path (default BENCH_PR2.json in the working directory)
+//   --out    output path (default BENCH_PR5.json in the working directory)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>  // lint:threads — hardware_concurrency only, no thread spawned
 #include <vector>
 
 #include "baselines/backend.h"
@@ -104,6 +112,53 @@ SolveSample measure_synthesizer(int reps, int iters) {
   return sample;
 }
 
+/// Large-world solver scaling: one profiled `servers`-instance A100 fleet,
+/// solved at each thread count over the same topology. The strategy
+/// fingerprint and model cost must match the 1-thread solve bit-for-bit at
+/// every count (the task pool's determinism contract).
+struct ScalingSample {
+  int ranks = 0;
+  int candidates = 0;
+  bool identical_across_threads = true;
+  std::vector<std::pair<int, double>> ns_per_threads;  ///< (threads, median ns/solve)
+};
+
+ScalingSample measure_solver_scaling(int servers, int reps) {
+  sim::Simulator sim;
+  topology::Cluster cluster(sim, topology::a100_fleet(servers));
+  topology::Detector detector(cluster, util::Rng(1));
+  auto topo = topology::Detector::build_logical_topology(cluster, detector.detect());
+  profiler::Profiler profiler(cluster);
+  profiler.profile(topo);
+  std::vector<int> ranks;
+  for (int r = 0; r < cluster.world_size(); ++r) ranks.push_back(r);
+
+  ScalingSample sample;
+  sample.ranks = cluster.world_size();
+  std::string serial_fingerprint;
+  double serial_cost = 0.0;
+  for (const int threads : {1, 2, 4, 8}) {
+    synthesizer::SynthesizerConfig config;
+    config.solver_threads = threads;
+    synthesizer::Synthesizer synth(cluster, topo, config);
+    const auto strategy =
+        synth.synthesize(collective::Primitive::kAllReduce, ranks, megabytes(256));
+    if (threads == 1) {
+      serial_fingerprint = strategy.fingerprint();
+      serial_cost = synth.last_report().model_cost;
+      sample.candidates = synth.last_report().candidates_evaluated;
+    } else if (strategy.fingerprint() != serial_fingerprint ||
+               synth.last_report().model_cost != serial_cost) {
+      sample.identical_across_threads = false;
+    }
+    const double ns = median_ns_per_iter(reps, 1, [&] {
+      synth.synthesize(collective::Primitive::kAllReduce, ranks, megabytes(256));
+    });
+    sample.ns_per_threads.emplace_back(threads, ns);
+  }
+  return sample;
+}
+
 void fig12_workload() {
   const Bytes tensor = megabytes(256);
   for (const auto& config : fig11_configs()) {
@@ -129,12 +184,13 @@ struct Metric {
 };
 
 void write_json(const std::string& path, const std::vector<Metric>& metrics, bool quick,
-                int candidates_per_solve) {
+                int candidates_per_solve, const std::vector<ScalingSample>& scaling) {
   std::ofstream out(path);
   out << "{\n";
   out << "  \"report\": \"adapcc engine/solver performance\",\n";
-  out << "  \"pr\": 2,\n";
+  out << "  \"pr\": 5,\n";
   out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  out << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n";
   out << "  \"baseline_source\": \"google-benchmark medians, pre-overhaul build, same machine\",\n";
   // Authoritative before/after evidence for the PR's acceptance gates:
   // 7-repetition google-benchmark medians, old and new binaries run
@@ -152,8 +208,28 @@ void write_json(const std::string& path, const std::vector<Metric>& metrics, boo
          "\"speedup\": 1.59}\n";
   out << "  },\n";
   out << "  \"synthesizer_candidates_per_solve\": " << candidates_per_solve << ",\n";
-  out << "  \"metrics\": {\n";
   char buf[256];
+  // Per-thread solve medians over one profiled topology; `identical` is the
+  // fingerprint + model-cost equality of every thread count vs 1 thread.
+  out << "  \"solver_scaling\": {\n";
+  for (std::size_t s = 0; s < scaling.size(); ++s) {
+    const ScalingSample& sc = scaling[s];
+    out << "    \"synthesizer_solve_" << sc.ranks << "r\": {\n";
+    out << "      \"ranks\": " << sc.ranks << ",\n";
+    out << "      \"candidates_per_solve\": " << sc.candidates << ",\n";
+    out << "      \"identical_across_threads\": "
+        << (sc.identical_across_threads ? "true" : "false") << ",\n";
+    out << "      \"median_ns_per_solve_by_threads\": {";
+    for (std::size_t i = 0; i < sc.ns_per_threads.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s\"%d\": %.1f", i == 0 ? "" : ", ",
+                    sc.ns_per_threads[i].first, sc.ns_per_threads[i].second);
+      out << buf;
+    }
+    out << "}\n";
+    out << "    }" << (s + 1 < scaling.size() ? "," : "") << "\n";
+  }
+  out << "  },\n";
+  out << "  \"metrics\": {\n";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     const Metric& m = metrics[i];
     out << "    \"" << m.name << "\": {\n";
@@ -214,6 +290,20 @@ int run(bool quick, const std::string& out_path) {
   const SolveSample solve = measure_synthesizer(reps, quick ? 2 : 10);
   metrics.push_back({"synthesizer_solve", solve.ns_per_solve, "AllReduce solve, 24 ranks, 256 MB",
                      solve.candidates / solve.ns_per_solve * 1e9, kBaselineSolve});
+
+  // Large-world scaling: 32 / 64 four-GPU A100 servers. Profiling the world
+  // dominates set-up, so each world is profiled once and re-solved per
+  // thread count.
+  std::vector<ScalingSample> scaling;
+  for (const int servers : {32, 64}) {
+    scaling.push_back(measure_solver_scaling(servers, quick ? 1 : 3));
+    const ScalingSample& sc = scaling.back();
+    metrics.push_back({"synthesizer_solve_" + std::to_string(sc.ranks) + "r",
+                       sc.ns_per_threads.front().second,
+                       "AllReduce solve, " + std::to_string(sc.ranks) + " ranks, 256 MB, 1 thread",
+                       sc.candidates / sc.ns_per_threads.front().second * 1e9, 0.0});
+  }
+
   {
     const double ns = median_ns_per_iter(quick ? 1 : 3, 1, fig12_workload);
     metrics.push_back({"fig12_end_to_end", ns, "full Fig. 12 sweep (5 configs x 4 backends)", 0.0,
@@ -225,8 +315,23 @@ int run(bool quick, const std::string& out_path) {
     if (m.baseline_ns > 0.0) std::printf("  (%.2fx vs baseline)", m.baseline_ns / m.ns);
     std::printf("\n");
   }
+  for (const ScalingSample& sc : scaling) {
+    std::printf("  solver scaling %3dr (%s):", sc.ranks,
+                sc.identical_across_threads ? "strategies identical across threads"
+                                            : "MISMATCH ACROSS THREADS");
+    for (const auto& [threads, ns] : sc.ns_per_threads) {
+      std::printf("  %dT %.2f ms", threads, ns / 1e6);
+    }
+    std::printf("\n");
+    if (!sc.identical_across_threads) {
+      std::fprintf(stderr,
+                   "perf_report: %d-rank solve diverged across thread counts (determinism bug)\n",
+                   sc.ranks);
+      return 1;
+    }
+  }
 
-  write_json(out_path, metrics, quick, solve.candidates);
+  write_json(out_path, metrics, quick, solve.candidates, scaling);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }
@@ -236,7 +341,7 @@ int run(bool quick, const std::string& out_path) {
 
 int main(int argc, char** argv) {
   bool quick = false;
-  std::string out_path = "BENCH_PR2.json";
+  std::string out_path = "BENCH_PR5.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;

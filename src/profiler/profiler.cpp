@@ -112,9 +112,15 @@ std::vector<AlphaBeta> Profiler::probe_edges_concurrently(
   for (auto& probe : probes) probe->start();
   while (outstanding > 0 && sim.step()) {
   }
-  std::vector<AlphaBeta> results;
-  results.reserve(probes.size());
-  for (const auto& probe : probes) results.push_back(probe->estimator().estimate());
+  // Probe traffic above ran on the single simulated clock; the per-edge
+  // least-squares fits below are pure host-side functions of each probe's
+  // samples, so they fan out over the solver pool, collected by edge index.
+  pool_.set_record_spans(telemetry::host_spans_enabled());
+  std::vector<AlphaBeta> results = pool_.map_indexed<AlphaBeta>(
+      probes.size(), [&](std::size_t i, int) { return probes[i]->estimator().estimate(); });
+  if (telemetry::host_spans_enabled()) {
+    telemetry::flush_solver_spans(pool_.take_spans(), "profiler/fit");
+  }
   return results;
 }
 

@@ -13,6 +13,11 @@
 //
 // Training is blocked while profiling runs; the report's wall_time is the
 // simulated time the block lasted (compared in Fig. 19c).
+// Probe *traffic* stays strictly on the single simulated clock: concurrent
+// rounds share NIC ports, so their timing interleaves through one Simulator
+// and may not be split across host threads. Only the host-side per-edge
+// alpha-beta least-squares fits — pure functions of each probe's collected
+// samples — fan out over a util::TaskPool (DESIGN.md §10).
 #pragma once
 
 #include <vector>
@@ -20,6 +25,7 @@
 #include "profiler/alpha_beta.h"
 #include "topology/cluster.h"
 #include "topology/logical_topology.h"
+#include "util/task_pool.h"
 
 namespace adapcc::profiler {
 
@@ -27,6 +33,10 @@ struct ProfilerConfig {
   std::vector<ProbeShape> plan = default_probe_plan();
   /// Extra repetitions of the whole plan per link (more samples, more time).
   int repetitions = 1;
+  /// Host threads for the per-edge model fits; 0 = the ADAPCC_SOLVER_THREADS
+  /// environment variable (default 1 = serial). Fitted costs are identical
+  /// at every value.
+  int solver_threads = 0;
 };
 
 struct EdgeMeasurement {
@@ -44,7 +54,9 @@ struct ProfileReport {
 class Profiler {
  public:
   Profiler(topology::Cluster& cluster, ProfilerConfig config = {})
-      : cluster_(cluster), config_(std::move(config)) {}
+      : cluster_(cluster),
+        config_(std::move(config)),
+        pool_(util::solver_threads(config_.solver_threads)) {}
 
   /// Probes every NVLink and network edge of `topo`, writes the estimated
   /// alpha/beta into the edges, assigns PCIe defaults, and returns the
@@ -63,6 +75,7 @@ class Profiler {
 
   topology::Cluster& cluster_;
   ProfilerConfig config_;
+  util::TaskPool pool_;  ///< host-side fit lanes; probe traffic never runs here
 };
 
 }  // namespace adapcc::profiler

@@ -40,6 +40,16 @@ Seconds nccl_restart_cost(int world_size, Bytes model_bytes) {
 
 Adapcc::Adapcc(topology::Cluster& cluster, AdapccConfig config)
     : cluster_(cluster), config_(std::move(config)), rng_(config_.seed) {
+  // The runtime-level thread knob flows into both solver surfaces unless a
+  // sub-config pinned its own count.
+  if (config_.solver_threads > 0) {
+    if (config_.synthesizer.solver_threads == 0) {
+      config_.synthesizer.solver_threads = config_.solver_threads;
+    }
+    if (config_.profiler.solver_threads == 0) {
+      config_.profiler.solver_threads = config_.solver_threads;
+    }
+  }
   for (int r = 0; r < cluster_.world_size(); ++r) participants_.push_back(r);
 }
 
@@ -132,6 +142,11 @@ collective::Strategy Adapcc::synthesize(Primitive primitive, const std::vector<i
 collective::Strategy Adapcc::synthesize_cached(Primitive primitive,
                                                const std::vector<int>& participants,
                                                Bytes tensor_bytes) {
+  // One lock covers lookup, solve, insert, and the report/counter updates:
+  // producer threads (submission queue / DDP hook) may request strategies
+  // while the main thread synthesizes for a collective, and the Synthesizer
+  // itself is a single instance whose parallelism lives in its task pool.
+  const std::lock_guard<std::mutex> lock(strategy_mutex_);
   StrategyCacheKey key{static_cast<int>(primitive), participants,
                        tensor_size_bucket(tensor_bytes), topology_epoch_};
   if (const auto it = strategy_cache_.find(key); it != strategy_cache_.end()) {
@@ -154,6 +169,7 @@ collective::Strategy Adapcc::synthesize_cached(Primitive primitive,
 }
 
 void Adapcc::invalidate_strategy_cache() {
+  const std::lock_guard<std::mutex> lock(strategy_mutex_);
   ++topology_epoch_;  // stale keys can never match again
   strategy_cache_.clear();
 }
@@ -299,7 +315,7 @@ ReconstructionReport Adapcc::reprofile(Bytes tensor_bytes) {
   std::map<Primitive, Strategy> fresh;
   for (const auto& [primitive, old_strategy] : strategies_) {
     Strategy next = synthesize_cached(primitive, participants_, tensor_bytes);
-    report.solve_time_seconds += last_report_.solve_time_seconds;
+    report.solve_time_seconds += last_synthesis().solve_time_seconds;
     if (next.fingerprint() != old_strategy.fingerprint()) report.graph_changed = true;
     fresh.emplace(primitive, std::move(next));
   }
@@ -307,7 +323,7 @@ ReconstructionReport Adapcc::reprofile(Bytes tensor_bytes) {
     // Nothing installed yet: synthesize the default AllReduce once so the
     // reconstruction cost is representative.
     Strategy next = synthesize_cached(Primitive::kAllReduce, participants_, tensor_bytes);
-    report.solve_time_seconds += last_report_.solve_time_seconds;
+    report.solve_time_seconds += last_synthesis().solve_time_seconds;
     fresh.emplace(Primitive::kAllReduce, std::move(next));
     report.graph_changed = true;
   }
@@ -365,8 +381,9 @@ void Adapcc::include_workers(const std::set<int>& recovered) {
   }
 }
 
-const synthesizer::SynthesisReport& Adapcc::last_synthesis() const {
+synthesizer::SynthesisReport Adapcc::last_synthesis() const {
   if (synthesizer_ == nullptr) throw std::logic_error("adapcc: no synthesizer yet");
+  const std::lock_guard<std::mutex> lock(strategy_mutex_);
   return last_report_;
 }
 

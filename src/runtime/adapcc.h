@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -38,6 +39,11 @@ struct AdapccConfig {
   /// Re-profile every this many iterations (adapcc.profile(); Sec. VI-D
   /// uses 500). Zero disables runtime profiling.
   int profile_period_iterations = 500;
+  /// Host threads for the synthesizer search and the profiler's model fits;
+  /// propagated into both sub-configs when they leave theirs at 0. 0 = the
+  /// ADAPCC_SOLVER_THREADS environment variable (default 1 = serial).
+  /// Solved strategies are identical at every value.
+  int solver_threads = 0;
   std::uint64_t seed = 42;
 };
 
@@ -187,7 +193,9 @@ class Adapcc {
   /// Report of the most recent synthesis through this runtime, including the
   /// cumulative strategy-cache hit/miss counters. A cache hit reports the
   /// cached solve's model cost and candidate count with zero solve time.
-  const synthesizer::SynthesisReport& last_synthesis() const;
+  /// Returns a snapshot by value: the report may be refreshed concurrently
+  /// by producer-thread synthesis (see synthesize()).
+  synthesizer::SynthesisReport last_synthesis() const;
   Seconds detection_time() const noexcept { return detection_.total_time; }
   bool initialized() const noexcept { return initialized_; }
 
@@ -197,6 +205,14 @@ class Adapcc {
 
   /// One-off synthesis for an explicit participant subset (used by the
   /// backend wrapper and by benches that vary the GPU configuration).
+  ///
+  /// Thread-safe against itself and against the collectives above: the
+  /// strategy cache, the cumulative hit/miss counters, and last_synthesis()
+  /// are guarded by one mutex, so a producer thread (a submission-queue /
+  /// DDP-hook worker) may request strategies while the main thread drives
+  /// simulated collectives. Topology-mutating calls (reprofile,
+  /// exclude_workers, include_workers, init) remain main-thread-only — they
+  /// rewrite the topology the solver reads.
   collective::Strategy synthesize(collective::Primitive primitive,
                                   const std::vector<int>& participants, Bytes tensor_bytes);
 
@@ -233,7 +249,15 @@ class Adapcc {
   std::unique_ptr<synthesizer::Synthesizer> synthesizer_;
   std::unique_ptr<relay::RelayCollectiveRunner> relay_runner_;
   std::vector<int> participants_;
+  /// Installed per-primitive strategies: main-thread-only (collectives run
+  /// the simulated clock, which is single-threaded).
   std::map<collective::Primitive, collective::Strategy> strategies_;
+  /// Guards strategy_cache_, topology_epoch_ reads on the cache path,
+  /// last_report_, and the hit/miss totals — the state producer-thread
+  /// synthesize() calls touch. Held across the solve, so concurrent
+  /// synthesis requests serialize on the one Synthesizer (whose task pool
+  /// parallelizes inside a solve instead).
+  mutable std::mutex strategy_mutex_;
   std::map<StrategyCacheKey, CachedStrategy> strategy_cache_;
   std::uint64_t topology_epoch_ = 0;
   synthesizer::SynthesisReport last_report_;

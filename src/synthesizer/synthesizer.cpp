@@ -1,11 +1,14 @@
 #include "synthesizer/synthesizer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <map>
+#include <memory>
 #include <stdexcept>
 
 #include "collective/builders.h"
+#include "telemetry/telemetry.h"
 #include "util/audit.h"
 #include "util/logging.h"
 #include "util/wallclock.h"
@@ -31,7 +34,10 @@ BytesPerSecond edge_bw(const topology::LogicalTopology& topo, NodeId from, NodeI
 
 Synthesizer::Synthesizer(const topology::Cluster& cluster, const topology::LogicalTopology& topo,
                          SynthesizerConfig config)
-    : cluster_(cluster), topo_(topo), config_(std::move(config)) {
+    : cluster_(cluster),
+      topo_(topo),
+      config_(std::move(config)),
+      pool_(util::solver_threads(config_.solver_threads)) {
   if (config_.parallel_subs < 1) throw std::invalid_argument("Synthesizer: M < 1");
   if (config_.chunk_candidates.empty()) {
     throw std::invalid_argument("Synthesizer: no chunk candidates");
@@ -189,18 +195,31 @@ collective::Strategy Synthesizer::synthesize(Primitive primitive,
   std::set<int> active = active_ranks;
   if (active.empty()) active.insert(participants.begin(), participants.end());
 
+  // Host-span recording is gated per solve: when telemetry runs with
+  // host_spans, each pool batch stamps wall-clock TaskSpans that are flushed
+  // onto per-worker tracks after the batch joins (the recorder itself is
+  // unsynchronized, so flushing happens on this thread only).
+  const bool record_spans = telemetry::host_spans_enabled();
+  pool_.set_record_spans(record_spans);
+  const auto flush_spans = [&](const char* label) {
+    if (record_spans) telemetry::flush_solver_spans(pool_.take_spans(), label);
+  };
+
   // ADAPCC_AUDIT: the memoized CostEvaluator claims bit-identical parity
   // with the one-shot estimate_completion_time. Re-derive every 5th
   // evaluation from scratch during real solves and require exact equality —
   // loads are integer-valued doubles, so any drift is a bug, not rounding.
-  std::uint64_t audit_evals = 0;
+  // The counter is atomic because evaluations run on pool lanes; which
+  // samples get audited varies with scheduling, but audits only verify.
+  std::atomic<std::uint64_t> audit_evals{0};
   const auto audit_parity = [&](const Strategy& strategy, Seconds memoized) {
     if constexpr (audit::kEnabled) {
-      if (++audit_evals % 5 != 0) return;
+      const std::uint64_t count = audit_evals.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (count % 5 != 0) return;
       const Seconds one_shot = estimate_completion_time(strategy, topo_, tensor_bytes, active);
       ADAPCC_AUDIT_CHECK("synthesizer", memoized == one_shot,
                          "memoized " << memoized << "s != one-shot " << one_shot
-                                     << "s after " << audit_evals << " evaluations");
+                                     << "s after " << count << " evaluations");
     } else {
       static_cast<void>(strategy);
       static_cast<void>(memoized);
@@ -220,9 +239,11 @@ collective::Strategy Synthesizer::synthesize(Primitive primitive,
     // Balanced exchange order; per-context streams allow deep per-source
     // concurrency (Sec. V-A).
     const auto routes = collective::rotated_alltoall_routes(participants, instance_of);
-    Seconds best_cost = std::numeric_limits<double>::infinity();
-    for (const Bytes chunk : config_.chunk_candidates) {
-      Strategy candidate = best;
+    const auto build_alltoall = [&](Bytes chunk) {
+      Strategy candidate;
+      candidate.primitive = primitive;
+      candidate.participants = participants;
+      candidate.origin = "adapcc";
       for (int m = 0; m < config_.parallel_subs; ++m) {
         SubCollective sub;
         sub.id = m;
@@ -232,14 +253,24 @@ collective::Strategy Synthesizer::synthesize(Primitive primitive,
         sub.alltoall_concurrency = 4;  // one per concurrent GPU stream
         candidate.subs.push_back(std::move(sub));
       }
-      const Seconds cost = estimate_completion_time(candidate, topo_, tensor_bytes, active);
-      ++report_.candidates_evaluated;
-      if (cost < best_cost) {
-        best_cost = cost;
-        best = std::move(candidate);
-      }
+      return candidate;
+    };
+    // Every chunk candidate scores an independently built strategy (fanned
+    // out over the pool); the winner is the first index with the strictly
+    // smallest cost, i.e. the serial sweep's tie-break.
+    const std::vector<Seconds> costs = pool_.map_indexed<Seconds>(
+        config_.chunk_candidates.size(), [&](std::size_t index, int) {
+          return estimate_completion_time(build_alltoall(config_.chunk_candidates[index]), topo_,
+                                          tensor_bytes, active);
+        });
+    flush_spans("synth/alltoall-chunk");
+    report_.candidates_evaluated += static_cast<int>(costs.size());
+    std::size_t winner = 0;
+    for (std::size_t i = 1; i < costs.size(); ++i) {
+      if (costs[i] < costs[winner]) winner = i;
     }
-    report_.model_cost = best_cost;
+    best = build_alltoall(config_.chunk_candidates[winner]);
+    report_.model_cost = costs[winner];
     report_.solve_time_seconds = solve_timer.elapsed_seconds();
     return best;
   }
@@ -255,20 +286,25 @@ collective::Strategy Synthesizer::synthesize(Primitive primitive,
   const auto trees = candidate_trees(participants, forced_root);
   if (trees.empty()) throw std::invalid_argument("synthesize: no candidate trees");
 
-  // Rank single trees by model cost to pick rotation orders.
+  // Rank single trees by model cost to pick rotation orders. Each tree's
+  // probe is independent, so the evaluations fan out over the pool; costs
+  // land in tree order and the (cost, index) sort is unambiguous.
+  const std::vector<Seconds> tree_costs =
+      pool_.map_indexed<Seconds>(trees.size(), [&](std::size_t i, int) {
+        Strategy probe;
+        probe.primitive = primitive;
+        probe.participants = participants;
+        SubCollective sub;
+        sub.fraction = 1.0;
+        sub.chunk_bytes = config_.chunk_candidates.front();
+        sub.tree = trees[i];
+        probe.subs.push_back(std::move(sub));
+        return estimate_completion_time(probe, topo_, tensor_bytes, active);
+      });
+  flush_spans("synth/tree-probe");
+  report_.candidates_evaluated += static_cast<int>(trees.size());
   std::vector<std::pair<Seconds, std::size_t>> ranked;
-  for (std::size_t i = 0; i < trees.size(); ++i) {
-    Strategy probe;
-    probe.primitive = primitive;
-    probe.participants = participants;
-    SubCollective sub;
-    sub.fraction = 1.0;
-    sub.chunk_bytes = config_.chunk_candidates.front();
-    sub.tree = trees[i];
-    probe.subs.push_back(std::move(sub));
-    ranked.emplace_back(estimate_completion_time(probe, topo_, tensor_bytes, active), i);
-    ++report_.candidates_evaluated;
-  }
+  for (std::size_t i = 0; i < trees.size(); ++i) ranked.emplace_back(tree_costs[i], i);
   std::sort(ranked.begin(), ranked.end());
 
   // The best candidate per root instance, in ascending model cost; rotating
@@ -302,11 +338,14 @@ collective::Strategy Synthesizer::synthesize(Primitive primitive,
   assignments.push_back(std::vector<std::size_t>(
       static_cast<std::size_t>(config_.parallel_subs), ranked.front().second));
 
-  Seconds best_cost = std::numeric_limits<double>::infinity();
-  for (const auto& assignment : assignments) {
-    // Trees and loads are fixed for the whole assignment and chunk size does
-    // not enter the link loads, so build the candidate and its CostEvaluator
-    // once and re-score the chunk sweep against the memoized state.
+  // Trees and loads are fixed for the whole assignment and chunk size does
+  // not enter the link loads, so each assignment builds its candidate and
+  // CostEvaluator once and re-scores the chunk sweep against the memoized
+  // state. Assignments are independent: one pool task per assignment, each
+  // recording its local first-minimum (cost, chunk); the in-order global
+  // reduce below is then the serial double loop's exact lexicographic
+  // first-minimum over (assignment, chunk).
+  const auto build_assignment = [&](const std::vector<std::size_t>& assignment) {
     Strategy candidate;
     candidate.primitive = primitive;
     candidate.participants = participants;
@@ -320,50 +359,170 @@ collective::Strategy Synthesizer::synthesize(Primitive primitive,
       sub.tree = trees[assignment[static_cast<std::size_t>(m) % assignment.size()]];
       candidate.subs.push_back(std::move(sub));
     }
-    CostEvaluator evaluator(candidate, topo_, tensor_bytes, active);
-    for (const Bytes chunk : config_.chunk_candidates) {
-      for (auto& sub : candidate.subs) sub.chunk_bytes = chunk;
-      const Seconds cost = evaluator.completion_time();
-      audit_parity(candidate, cost);
-      ++report_.candidates_evaluated;
-      ADAPCC_LOG(kDebug, "synth") << "assignment size=" << assignment.size() << " first-root="
-                                  << to_string(candidate.subs[0].tree.root) << " last-root="
-                                  << to_string(candidate.subs.back().tree.root) << " chunk="
-                                  << chunk << " cost=" << cost;
-      if (cost < best_cost) {
-        best_cost = cost;
-        best = candidate;  // copy: the evaluator stays bound to `candidate`
-      }
+    return candidate;
+  };
+  struct SweepResult {
+    Seconds cost = std::numeric_limits<double>::infinity();
+    std::size_t chunk = 0;
+  };
+  const std::vector<SweepResult> sweeps = pool_.map_indexed<SweepResult>(
+      assignments.size(), [&](std::size_t ai, int) {
+        Strategy candidate = build_assignment(assignments[ai]);
+        CostEvaluator evaluator(candidate, topo_, tensor_bytes, active);
+        SweepResult local;
+        for (std::size_t ci = 0; ci < config_.chunk_candidates.size(); ++ci) {
+          const Bytes chunk = config_.chunk_candidates[ci];
+          for (auto& sub : candidate.subs) sub.chunk_bytes = chunk;
+          const Seconds cost = evaluator.completion_time();
+          audit_parity(candidate, cost);
+          ADAPCC_LOG(kDebug, "synth")
+              << "assignment size=" << assignments[ai].size() << " first-root="
+              << to_string(candidate.subs[0].tree.root) << " last-root="
+              << to_string(candidate.subs.back().tree.root) << " chunk=" << chunk
+              << " cost=" << cost;
+          if (cost < local.cost) {
+            local.cost = cost;
+            local.chunk = ci;
+          }
+        }
+        return local;
+      });
+  flush_spans("synth/assignment-sweep");
+  report_.candidates_evaluated +=
+      static_cast<int>(assignments.size() * config_.chunk_candidates.size());
+  Seconds best_cost = std::numeric_limits<double>::infinity();
+  std::size_t best_assignment = 0;
+  for (std::size_t ai = 0; ai < sweeps.size(); ++ai) {
+    if (sweeps[ai].cost < best_cost) {
+      best_cost = sweeps[ai].cost;
+      best_assignment = ai;
     }
+  }
+  best = build_assignment(assignments[best_assignment]);
+  for (auto& sub : best.subs) {
+    sub.chunk_bytes = config_.chunk_candidates[sweeps[best_assignment].chunk];
   }
 
   // --- Aggregation-control local search (a_{m,g} toggles). ------------------
   if (config_.optimize_aggregation && collective::requires_aggregation(primitive)) {
-    // One evaluator survives the whole search: each toggle patches only the
-    // toggled node's ancestor-chain loads instead of recomputing every
-    // sub-collective's message counts from scratch.
-    CostEvaluator evaluator(best, topo_, tensor_bytes, active);
-    bool improved = true;
-    while (improved) {
-      improved = false;
+    if (pool_.serial()) {
+      // One evaluator survives the whole search: each toggle patches only the
+      // toggled node's ancestor-chain loads instead of recomputing every
+      // sub-collective's message counts from scratch.
+      CostEvaluator evaluator(best, topo_, tensor_bytes, active);
+      bool improved = true;
+      while (improved) {
+        improved = false;
+        for (std::size_t si = 0; si < best.subs.size(); ++si) {
+          auto& sub = best.subs[si];
+          for (const NodeId node : sub.tree.nodes()) {
+            if (!node.is_gpu() || node == sub.tree.root) continue;
+            if (sub.tree.children_of(node).empty()) continue;  // leaves don't aggregate anyway
+            const bool current = sub.aggregates_at(node, primitive);
+            sub.aggregate_at[node] = !current;
+            evaluator.on_aggregation_toggled(si, node);
+            const Seconds cost = evaluator.completion_time();
+            audit_parity(best, cost);
+            ++report_.candidates_evaluated;
+            if (cost + 1e-12 < best_cost) {
+              best_cost = cost;
+              improved = true;
+            } else {
+              sub.aggregate_at[node] = current;
+              evaluator.on_aggregation_toggled(si, node);
+            }
+          }
+        }
+      }
+    } else {
+      // Batched first-improvement: the serial greedy's accepted-toggle
+      // trajectory, reproduced with parallel evaluation. Toggle sites are
+      // enumerated in the serial visiting order; a window of upcoming sites
+      // is scored concurrently against the current base (every lane owns an
+      // arena — a Strategy replica plus its incremental CostEvaluator, kept
+      // in lock-step with the base), and the FIRST improving site in the
+      // window is accepted. Sites past an acceptance were scored against a
+      // stale base, so they are discarded and re-scored from the new base —
+      // exactly what the serial loop would have evaluated. The accepted
+      // trajectory, the final strategy, and candidates_evaluated are
+      // therefore invariant to thread count and window size.
+      struct ToggleSite {
+        std::size_t sub;
+        NodeId node;
+      };
+      std::vector<ToggleSite> sites;
       for (std::size_t si = 0; si < best.subs.size(); ++si) {
-        auto& sub = best.subs[si];
+        const auto& sub = best.subs[si];
         for (const NodeId node : sub.tree.nodes()) {
           if (!node.is_gpu() || node == sub.tree.root) continue;
-          if (sub.tree.children_of(node).empty()) continue;  // leaves don't aggregate anyway
-          const bool current = sub.aggregates_at(node, primitive);
-          sub.aggregate_at[node] = !current;
-          evaluator.on_aggregation_toggled(si, node);
-          const Seconds cost = evaluator.completion_time();
-          audit_parity(best, cost);
-          ++report_.candidates_evaluated;
-          if (cost + 1e-12 < best_cost) {
-            best_cost = cost;
-            improved = true;
-          } else {
-            sub.aggregate_at[node] = current;
-            evaluator.on_aggregation_toggled(si, node);
+          if (sub.tree.children_of(node).empty()) continue;
+          sites.push_back({si, node});
+        }
+      }
+      struct AggArena {
+        Strategy strategy;
+        CostEvaluator evaluator;
+        AggArena(const Strategy& base, const topology::LogicalTopology& topo, Bytes bytes,
+                 const std::set<int>& active_ranks)
+            : strategy(base), evaluator(strategy, topo, bytes, active_ranks) {}
+      };
+      std::vector<std::unique_ptr<AggArena>> arenas;
+      for (int lane = 0; lane < pool_.thread_count(); ++lane) {
+        arenas.push_back(std::make_unique<AggArena>(best, topo_, tensor_bytes, active));
+      }
+      const std::size_t window = static_cast<std::size_t>(pool_.thread_count()) * 4;
+      bool improved = true;
+      while (improved && !sites.empty()) {
+        improved = false;
+        std::size_t next = 0;
+        while (next < sites.size()) {
+          const std::size_t batch_n = std::min(window, sites.size() - next);
+          const std::vector<Seconds> costs =
+              pool_.map_indexed<Seconds>(batch_n, [&](std::size_t k, int lane) {
+                AggArena& arena = *arenas[static_cast<std::size_t>(lane)];
+                const ToggleSite& site = sites[next + k];
+                auto& sub = arena.strategy.subs[site.sub];
+                const bool current = sub.aggregates_at(site.node, primitive);
+                sub.aggregate_at[site.node] = !current;
+                arena.evaluator.on_aggregation_toggled(site.sub, site.node);
+                const Seconds cost = arena.evaluator.completion_time();
+                audit_parity(arena.strategy, cost);
+                sub.aggregate_at[site.node] = current;
+                arena.evaluator.on_aggregation_toggled(site.sub, site.node);
+                return cost;
+              });
+          flush_spans("synth/aggregation");
+          std::size_t accepted = batch_n;
+          for (std::size_t k = 0; k < batch_n; ++k) {
+            if (costs[k] + 1e-12 < best_cost) {
+              accepted = k;
+              break;
+            }
           }
+          // The serial loop leaves an explicit aggregate_at entry at every
+          // site it visits (toggle + revert assigns through the map), so the
+          // base replays those writes for the serially-visited prefix.
+          const std::size_t visited = accepted == batch_n ? batch_n : accepted + 1;
+          for (std::size_t k = 0; k < visited; ++k) {
+            const ToggleSite& site = sites[next + k];
+            auto& sub = best.subs[site.sub];
+            const bool current = sub.aggregates_at(site.node, primitive);
+            sub.aggregate_at[site.node] = k == accepted ? !current : current;
+          }
+          report_.candidates_evaluated += static_cast<int>(visited);
+          if (accepted == batch_n) {
+            next += batch_n;
+            continue;
+          }
+          const ToggleSite& site = sites[next + accepted];
+          const bool flipped = best.subs[site.sub].aggregate_at.at(site.node);
+          best_cost = costs[accepted];
+          improved = true;
+          for (auto& arena : arenas) {
+            arena->strategy.subs[site.sub].aggregate_at[site.node] = flipped;
+            arena->evaluator.on_aggregation_toggled(site.sub, site.node);
+          }
+          next += accepted + 1;
         }
       }
     }

@@ -309,5 +309,49 @@ TEST_F(SynthesizerTest, CostEvaluatorHonorsActiveSubset) {
   EXPECT_EQ(evaluator.link_loads(), compute_link_loads(strategy, active));
 }
 
+// --- deterministic parallel search -------------------------------------------
+
+// The tentpole guarantee (DESIGN.md §10): the multi-threaded candidate
+// search must pick the bit-identical strategy — same graph, same chunk,
+// same model cost, same number of candidates charged — as the serial loop,
+// on every topology shape we ship.
+TEST_F(SynthesizerTest, ParallelSearchIsBitIdenticalToSerial) {
+  const std::vector<std::pair<const char*, std::vector<topology::InstanceSpec>>> testbeds = {
+      {"paper", topology::paper_testbed()},
+      {"homo", topology::homo_testbed()},
+      {"heter", topology::heter_testbed()},
+      {"fragmented", {topology::interleaved_a100_server("frag")}},
+      {"fleet16", topology::a100_fleet(4)},
+  };
+  for (const auto& [name, specs] : testbeds) {
+    build(specs);
+    for (const Primitive primitive :
+         {Primitive::kAllReduce, Primitive::kReduce, Primitive::kAllToAll}) {
+      synthesizer::SynthesizerConfig serial_config;
+      serial_config.solver_threads = 1;
+      Synthesizer serial(*cluster_, topo_, serial_config);
+      const Strategy want = serial.synthesize(primitive, all_ranks(), megabytes(64));
+      const synthesizer::SynthesisReport want_report = serial.last_report();
+      ASSERT_EQ(serial.solver_thread_count(), 1);
+
+      synthesizer::SynthesizerConfig parallel_config;
+      parallel_config.solver_threads = 8;
+      Synthesizer parallel(*cluster_, topo_, parallel_config);
+      const Strategy got = parallel.synthesize(primitive, all_ranks(), megabytes(64));
+      ASSERT_EQ(parallel.solver_thread_count(), 8);
+
+      EXPECT_EQ(got.fingerprint(), want.fingerprint())
+          << name << " primitive=" << static_cast<int>(primitive);
+      ASSERT_EQ(got.subs.size(), want.subs.size());
+      for (std::size_t s = 0; s < got.subs.size(); ++s) {
+        EXPECT_EQ(got.subs[s].chunk_bytes, want.subs[s].chunk_bytes) << name << " sub " << s;
+      }
+      EXPECT_EQ(parallel.last_report().model_cost, want_report.model_cost) << name;
+      EXPECT_EQ(parallel.last_report().candidates_evaluated, want_report.candidates_evaluated)
+          << name << " primitive=" << static_cast<int>(primitive);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace adapcc
